@@ -1,0 +1,48 @@
+// Command gendata generates synthetic NOAA GHCN-Daily-like JSON sensor
+// collections with the structure of the paper's dataset (§5.1).
+//
+// Usage:
+//
+//	gendata -out /data/sensors -files 100 -records 32 -measurements 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vxq/internal/gen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := gen.Default()
+	out := flag.String("out", "", "output directory (required)")
+	flag.IntVar(&cfg.Files, "files", cfg.Files, "number of JSON files")
+	flag.IntVar(&cfg.RecordsPerFile, "records", cfg.RecordsPerFile, "records per file (root array members)")
+	flag.IntVar(&cfg.MeasurementsPerArray, "measurements", cfg.MeasurementsPerArray, "measurements per results array")
+	flag.IntVar(&cfg.Stations, "stations", cfg.Stations, "number of distinct stations")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "PRNG seed")
+	targetMB := flag.Int64("target-mb", 0, "scale the file count so the collection is about this many MB (overrides -files)")
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		return fmt.Errorf("-out is required")
+	}
+	if *targetMB > 0 {
+		cfg = cfg.ScaleToBytes(*targetMB << 20)
+	}
+	total, err := cfg.WriteDir(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d files, %.2f MB, %d measurements to %s\n",
+		cfg.Files, float64(total)/(1<<20), cfg.Measurements(), *out)
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command vxq runs JSONiq queries over directories of raw JSON files.
+//
+// Usage:
+//
+//	vxq -mount /sensors=/data/sensors [flags] 'for $r in collection("/sensors")... return $r'
+//	vxq -mount /sensors=/data/sensors -f query.jq
+//
+// Flags select the partition count, toggle the paper's rule categories, and
+// switch to explain-only mode (print the plans instead of executing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vxq"
+)
+
+type mountFlags map[string]string
+
+func (m mountFlags) String() string {
+	var parts []string
+	for k, v := range m {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m mountFlags) Set(s string) error {
+	name, dir, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("mount must be name=dir, got %q", s)
+	}
+	m[name] = dir
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vxq:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mounts := mountFlags{}
+	fs := flag.NewFlagSet("vxq", flag.ExitOnError)
+	fs.Var(mounts, "mount", "collection mount as name=dir (repeatable)")
+	queryFile := fs.String("f", "", "read the query from a file instead of the command line")
+	partitions := fs.Int("partitions", 1, "partitioned-parallel degree for collection scans")
+	noPath := fs.Bool("no-path-rules", false, "disable the path expression rules (§4.1)")
+	noPipe := fs.Bool("no-pipelining-rules", false, "disable the pipelining rules (§4.2)")
+	noGroup := fs.Bool("no-groupby-rules", false, "disable the group-by rules (§4.3)")
+	explain := fs.Bool("explain", false, "print the plans instead of executing")
+	stats := fs.Bool("stats", false, "print execution statistics to stderr")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	var query string
+	switch {
+	case *queryFile != "":
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		query = string(b)
+	case fs.NArg() == 1:
+		query = fs.Arg(0)
+	default:
+		fs.Usage()
+		return fmt.Errorf("expected exactly one query (or -f file)")
+	}
+
+	eng := vxq.New(vxq.Options{
+		Partitions:             *partitions,
+		DisablePathRules:       *noPath,
+		DisablePipeliningRules: *noPipe,
+		DisableGroupByRules:    *noGroup,
+	})
+	for name, dir := range mounts {
+		eng.Mount(name, dir)
+	}
+
+	if *explain {
+		orig, opt, phys, err := eng.Explain(query)
+		if err != nil {
+			return err
+		}
+		fmt.Println("-- original logical plan --")
+		fmt.Print(orig)
+		fmt.Println("-- optimized logical plan --")
+		fmt.Print(opt)
+		fmt.Println("-- physical plan --")
+		fmt.Print(phys)
+		return nil
+	}
+
+	res, err := eng.Query(query)
+	if err != nil {
+		return err
+	}
+	for _, it := range res.Items {
+		fmt.Println(vxq.JSON(it))
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "items: %d  files: %d  bytes read: %d  tuples: %d  shuffled: %d  peak memory: %d\n",
+			len(res.Items), res.Stats.FilesRead, res.Stats.BytesRead,
+			res.Stats.TuplesProduced, res.Stats.BytesShuffled, res.PeakMemory)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Clusterscale: the paper's cluster experiments in miniature (§5.4). Runs
+// Q1 on growing modeled clusters, showing speed-up (fixed dataset) and
+// scale-up (fixed per-node dataset) with the virtual-time scheduler that
+// stands in for the paper's 9-node testbed (see DESIGN.md §4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vxq/internal/cluster"
+	"vxq/internal/core"
+	"vxq/internal/gen"
+	"vxq/internal/runtime"
+)
+
+const q1 = `
+for $r in collection("/sensors")("root")()("results")()
+where $r("dataType") eq "TMIN"
+group by $date := $r("date")
+return count($r("station"))`
+
+func source(files int) runtime.Source {
+	cfg := gen.Default()
+	cfg.Files = files
+	docs, _, err := cfg.InMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &runtime.MemSource{Collections: map[string]map[string][]byte{"/sensors": docs}}
+}
+
+func main() {
+	fmt.Println("speed-up: fixed dataset (36 files), growing cluster")
+	fixed := source(36)
+	var base float64
+	for _, nodes := range []int{1, 2, 3, 5, 9} {
+		ex, err := cluster.Run(q1, core.AllRules(), cluster.DefaultConfig(nodes), fixed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := float64(ex.SimulatedWall.Microseconds()) / 1000
+		if base == 0 {
+			base = wall
+		}
+		fmt.Printf("  %d nodes: %8.2f ms  (speed-up %.1fx, %d groups)\n",
+			nodes, wall, base/wall, len(ex.Result.Rows))
+	}
+
+	fmt.Println("\nscale-up: 8 files per node, growing cluster and data together")
+	for _, nodes := range []int{1, 2, 3, 5, 9} {
+		ex, err := cluster.Run(q1, core.AllRules(), cluster.DefaultConfig(nodes), source(8*nodes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d nodes: %8.2f ms  (%d groups)\n",
+			nodes, float64(ex.SimulatedWall.Microseconds())/1000, len(ex.Result.Rows))
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a small sensor collection on disk, mount it, and run
+// a selection query over the raw JSON — no load phase, no pre-processing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vxq"
+	"vxq/internal/gen"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "vxq-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Generate a NOAA-like collection of raw JSON files (§5.1 structure).
+	cfg := gen.Default()
+	cfg.Files = 4
+	total, err := cfg.WriteDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d files (%.1f KB) in %s\n", cfg.Files, float64(total)/1024, dir)
+
+	// Query the raw files directly.
+	eng := vxq.New(vxq.Options{Partitions: 2})
+	eng.Mount("/sensors", dir)
+
+	res, err := eng.Query(`
+		for $r in collection("/sensors")("root")()("results")()
+		let $datetime := dateTime(data($r("date")))
+		where year-from-dateTime($datetime) ge 2003
+		  and month-from-dateTime($datetime) eq 12
+		  and day-from-dateTime($datetime) eq 25
+		return $r`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Dec-25 measurements since 2003: %d\n", len(res.Items))
+	for i, it := range res.Items {
+		if i == 5 {
+			fmt.Println("...")
+			break
+		}
+		fmt.Println(vxq.JSON(it))
+	}
+	fmt.Printf("bytes read: %d, tuples produced: %d, peak memory: %d bytes\n",
+		res.Stats.BytesRead, res.Stats.TuplesProduced, res.PeakMemory)
+}

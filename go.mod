@@ -1,0 +1,3 @@
+module vxq
+
+go 1.22

@@ -1,0 +1,206 @@
+package algebricks
+
+// Column pruning: Algebricks inserts PROJECT operators so that only the
+// variables still needed above each operator are carried in its output
+// tuples. Without this, an operator chain accumulates every upstream field
+// — in the unoptimized plans that means the whole materialized collection
+// is copied into every downstream tuple. Pruning runs automatically at the
+// start of physical compilation (it is part of the substrate, not of the
+// paper's JSONiq rule categories, which are about *what* is materialized,
+// not about dead columns).
+
+type varSet map[Var]bool
+
+func (s varSet) clone() varSet {
+	out := make(varSet, len(s))
+	for v := range s {
+		out[v] = true
+	}
+	return out
+}
+
+func (s varSet) addExpr(e Expr) {
+	for _, v := range e.FreeVars(nil) {
+		s[v] = true
+	}
+}
+
+// PruneColumns inserts PROJECT operators below each operator so that dead
+// columns are dropped as early as possible. It mutates the plan.
+func PruneColumns(p *Plan) {
+	if dr, ok := p.Root.(*DistributeResult); ok {
+		req := varSet{}
+		for _, v := range dr.Vs {
+			req[v] = true
+		}
+		dr.In = pruneOp(dr.In, req, nil)
+	}
+}
+
+// pruneOp prunes the subtree rooted at op, given the set of variables its
+// consumers require, and returns the (possibly wrapped) operator. outer is
+// the schema a NestedTupleSource exposes.
+func pruneOp(op Op, required varSet, outer []Var) Op {
+	switch o := op.(type) {
+	case *EmptyTupleSource, *NestedTupleSource, *DataScan:
+		return op
+
+	case *Assign:
+		childReq := required.clone()
+		delete(childReq, o.V)
+		childReq.addExpr(o.E)
+		o.In = projectTo(pruneOp(o.In, childReq, outer), childReq, outer)
+		return o
+
+	case *Select:
+		childReq := required.clone()
+		childReq.addExpr(o.Cond)
+		o.In = projectTo(pruneOp(o.In, childReq, outer), childReq, outer)
+		return o
+
+	case *Unnest:
+		childReq := required.clone()
+		delete(childReq, o.V)
+		childReq.addExpr(o.E)
+		o.In = projectTo(pruneOp(o.In, childReq, outer), childReq, outer)
+		return o
+
+	case *Project:
+		o.In = projectTo(pruneOp(o.In, required, outer), required, outer)
+		return o
+
+	case *Sort:
+		childReq := required.clone()
+		for _, k := range o.Keys {
+			childReq.addExpr(k.E)
+		}
+		o.In = projectTo(pruneOp(o.In, childReq, outer), childReq, outer)
+		return o
+
+	case *Aggregate:
+		childReq := varSet{}
+		for _, a := range o.Aggs {
+			childReq.addExpr(a.Arg)
+		}
+		o.In = projectTo(pruneOp(o.In, childReq, outer), childReq, outer)
+		return o
+
+	case *GroupBy:
+		childReq := varSet{}
+		for _, k := range o.Keys {
+			childReq.addExpr(k.E)
+		}
+		for _, a := range o.Aggs {
+			childReq.addExpr(a.Arg)
+		}
+		o.In = projectTo(pruneOp(o.In, childReq, outer), childReq, outer)
+		return o
+
+	case *Subplan:
+		childReq := required.clone()
+		// The nested plan's expressions may reference outer variables.
+		collectNestedUses(o.Nested, childReq)
+		inSchema := Schema(o.In, outer)
+		o.Nested = pruneNested(o.Nested, inSchema)
+		o.In = projectTo(pruneOp(o.In, childReq, outer), childReq, outer)
+		return o
+
+	case *Join:
+		childReq := required.clone()
+		childReq.addExpr(o.Cond)
+		for _, e := range o.LeftKeys {
+			childReq.addExpr(e)
+		}
+		for _, e := range o.RightKeys {
+			childReq.addExpr(e)
+		}
+		o.Left = projectTo(pruneOp(o.Left, childReq, outer), childReq, outer)
+		o.Right = projectTo(pruneOp(o.Right, childReq, outer), childReq, outer)
+		return o
+
+	case *DistributeResult:
+		// Handled at the top level only.
+		return op
+
+	default:
+		return op
+	}
+}
+
+// pruneNested prunes inside a subplan's nested chain (its leaf sees the
+// outer schema).
+func pruneNested(root Op, outer []Var) Op {
+	agg, ok := root.(*Aggregate)
+	if !ok {
+		return root
+	}
+	req := varSet{}
+	for _, a := range agg.Aggs {
+		req.addExpr(a.Arg)
+	}
+	agg.In = projectTo(pruneOp(agg.In, req, outer), req, outer)
+	return agg
+}
+
+// collectNestedUses adds every variable referenced by the nested plan's
+// expressions to req (conservatively including nested-internal variables,
+// which simply never occur in the outer schema).
+func collectNestedUses(op Op, req varSet) {
+	for _, e := range nestedExprs(op) {
+		req.addExpr(e)
+	}
+	for _, in := range op.InputSlots() {
+		collectNestedUses(*in, req)
+	}
+	if sp, ok := op.(*Subplan); ok {
+		collectNestedUses(sp.Nested, req)
+	}
+}
+
+func nestedExprs(op Op) []Expr {
+	switch o := op.(type) {
+	case *Assign:
+		return []Expr{o.E}
+	case *Select:
+		return []Expr{o.Cond}
+	case *Unnest:
+		return []Expr{o.E}
+	case *Aggregate:
+		es := make([]Expr, len(o.Aggs))
+		for i, a := range o.Aggs {
+			es[i] = a.Arg
+		}
+		return es
+	case *GroupBy:
+		var es []Expr
+		for _, k := range o.Keys {
+			es = append(es, k.E)
+		}
+		for _, a := range o.Aggs {
+			es = append(es, a.Arg)
+		}
+		return es
+	default:
+		return nil
+	}
+}
+
+// projectTo wraps child in a PROJECT keeping only the required variables,
+// when that actually drops columns.
+func projectTo(child Op, required varSet, outer []Var) Op {
+	schema := Schema(child, outer)
+	keep := make([]Var, 0, len(schema))
+	for _, v := range schema {
+		if required[v] {
+			keep = append(keep, v)
+		}
+	}
+	if len(keep) == len(schema) {
+		return child
+	}
+	if p, ok := child.(*Project); ok {
+		p.Vs = keep
+		return p
+	}
+	return &Project{Vs: keep, In: child}
+}

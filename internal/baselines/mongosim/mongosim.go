@@ -1,0 +1,322 @@
+// Package mongosim is a MongoDB-like document store used as the comparison
+// system of §5.3/§5.4: it has a mandatory *load* phase that converts raw
+// JSON files into per-document compressed storage, a 16 MB document size
+// limit, faster selection queries on compressed storage, and a self-join
+// path that fails on the document limit unless the caller first unwinds
+// the "results" arrays (the workaround the paper describes for Q2).
+//
+// The paper's MongoDB observations this simulator reproduces mechanically:
+//   - loading is slower for smaller documents (less compression, more
+//     per-document overhead) — Table 1;
+//   - storage grows as documents shrink — Fig. 18b;
+//   - query time benefits from larger (better-compressed) documents —
+//     Fig. 18a;
+//   - the grouped self-join exceeds 16 MB and needs unwind+project —
+//     §5.4 Q2 discussion.
+package mongosim
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+	"vxq/internal/runtime"
+)
+
+// MaxDocumentBytes is MongoDB's 16 MB document size limit.
+const MaxDocumentBytes = 16 << 20
+
+// ErrDocumentTooLarge reports a document exceeding the 16 MB limit.
+type ErrDocumentTooLarge struct{ Size int }
+
+func (e ErrDocumentTooLarge) Error() string {
+	return fmt.Sprintf("mongosim: document of %d bytes exceeds the %d byte limit", e.Size, MaxDocumentBytes)
+}
+
+// Store is a loaded document collection: per-document compressed blobs.
+type Store struct {
+	docs [][]byte // flate-compressed canonical JSON
+	// DocLimit is the document size limit in bytes; 0 means the real
+	// MongoDB limit (MaxDocumentBytes). Benchmarks lower it to exercise
+	// the Q2 failure path at laptop scale.
+	DocLimit int
+	// RawBytes is the pre-compression JSON volume.
+	RawBytes int64
+	// StoredBytes is the on-"disk" compressed volume (Fig. 18b).
+	StoredBytes int64
+	// DocumentsLoaded counts stored documents.
+	DocumentsLoaded int
+}
+
+// Load ingests every file of a collection: each member of a file's "root"
+// array becomes one document (the "unwrapped" layout of §5.3; the number of
+// measurements per document is a property of the generated data). Each
+// document is serialized and flate-compressed individually, like MongoDB's
+// per-document block compression.
+func Load(src runtime.Source, collection string) (*Store, error) {
+	files, err := src.Files(collection)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{}
+	for _, f := range files {
+		raw, err := src.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := jsonparse.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("mongosim: %s: %w", f, err)
+		}
+		root, _ := doc.(*item.Object)
+		if root == nil || root.Value("root") == nil {
+			return nil, fmt.Errorf("mongosim: %s: missing root array", f)
+		}
+		members, ok := root.Value("root").(item.Array)
+		if !ok {
+			return nil, fmt.Errorf("mongosim: %s: root is not an array", f)
+		}
+		for _, m := range members {
+			if err := st.insert(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+func (st *Store) limit() int {
+	if st.DocLimit > 0 {
+		return st.DocLimit
+	}
+	return MaxDocumentBytes
+}
+
+func (st *Store) insert(doc item.Item) error {
+	js := item.AppendJSON(nil, doc)
+	if len(js) > st.limit() {
+		return ErrDocumentTooLarge{Size: len(js)}
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(js); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	st.docs = append(st.docs, buf.Bytes())
+	st.RawBytes += int64(len(js))
+	st.StoredBytes += int64(buf.Len())
+	st.DocumentsLoaded++
+	return nil
+}
+
+// scan decompresses and parses every document, invoking visit per document.
+func (st *Store) scan(visit func(doc item.Item) error) error {
+	for i, blob := range st.docs {
+		r := flate.NewReader(bytes.NewReader(blob))
+		js, err := io.ReadAll(r)
+		if err != nil {
+			return fmt.Errorf("mongosim: doc %d: %w", i, err)
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+		doc, err := jsonparse.Parse(js)
+		if err != nil {
+			return fmt.Errorf("mongosim: doc %d: %w", i, err)
+		}
+		if err := visit(doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Measurement is a flattened sensor reading.
+type Measurement struct {
+	Date     string
+	DataType string
+	Station  string
+	Value    float64
+}
+
+func measurementsOf(doc item.Item) []Measurement {
+	var out []Measurement
+	o, ok := doc.(*item.Object)
+	if !ok {
+		return nil
+	}
+	results, ok := o.Value("results").(item.Array)
+	if !ok {
+		return nil
+	}
+	for _, m := range results {
+		mo, ok := m.(*item.Object)
+		if !ok {
+			continue
+		}
+		meas := Measurement{}
+		if s, ok := mo.Value("date").(item.String); ok {
+			meas.Date = string(s)
+		}
+		if s, ok := mo.Value("dataType").(item.String); ok {
+			meas.DataType = string(s)
+		}
+		if s, ok := mo.Value("station").(item.String); ok {
+			meas.Station = string(s)
+		}
+		if n, ok := mo.Value("value").(item.Number); ok {
+			meas.Value = float64(n)
+		}
+		out = append(out, meas)
+	}
+	return out
+}
+
+// SelectDates runs the Q0b-equivalent selection: return the dates of all
+// measurements matching the predicate (Dec 25, year >= 2003 in the paper).
+func (st *Store) SelectDates(pred func(d item.DateTime) bool) ([]string, error) {
+	var out []string
+	err := st.scan(func(doc item.Item) error {
+		for _, m := range measurementsOf(doc) {
+			d, err := item.ParseDateTime(m.Date)
+			if err != nil {
+				continue
+			}
+			if pred(d) {
+				out = append(out, m.Date)
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// CountStationsByDate runs the Q1-equivalent aggregation pipeline:
+// match dataType, group by date, count stations.
+func (st *Store) CountStationsByDate(dataType string) (map[string]int, error) {
+	counts := map[string]int{}
+	err := st.scan(func(doc item.Item) error {
+		for _, m := range measurementsOf(doc) {
+			if m.DataType == dataType {
+				counts[m.Date]++
+			}
+		}
+		return nil
+	})
+	return counts, err
+}
+
+// GroupedSelfJoin attempts the naive Q2 strategy the paper describes:
+// $group all measurements sharing (station, date) into a single document.
+// When any grouped document would exceed the 16 MB limit it fails with
+// ErrDocumentTooLarge, exactly like MongoDB.
+func (st *Store) GroupedSelfJoin() (float64, error) {
+	groups := map[string][]Measurement{}
+	groupBytes := map[string]int{}
+	err := st.scan(func(doc item.Item) error {
+		for _, m := range measurementsOf(doc) {
+			key := m.Station + "\x00" + m.Date
+			groups[key] = append(groups[key], m)
+			// Approximate BSON size of the accumulated group document.
+			groupBytes[key] += len(m.Date) + len(m.DataType) + len(m.Station) + 32
+			if groupBytes[key] > st.limit() {
+				return ErrDocumentTooLarge{Size: groupBytes[key]}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return avgDiffOfGroups(groups), nil
+}
+
+// UnwindProjectJoin is the paper's workaround for Q2: "we perform an
+// additional step before the actual join: we unwind the results array and
+// we project only the necessary fields. After that, we perform the actual
+// join." The unwind stage materializes an intermediate collection — one
+// (compressed) document per measurement, like a $unwind + $project + $out
+// pipeline — and the join stage then reads it back.
+func (st *Store) UnwindProjectJoin() (float64, error) {
+	// Stage 1: unwind + project into an intermediate collection.
+	unwound := &Store{DocLimit: st.DocLimit}
+	if err := st.scan(func(doc item.Item) error {
+		for _, m := range measurementsOf(doc) {
+			if m.DataType != "TMIN" && m.DataType != "TMAX" {
+				continue
+			}
+			row := item.ObjectFromPairs(
+				"date", item.String(m.Date),
+				"dataType", item.String(m.DataType),
+				"station", item.String(m.Station),
+				"value", item.Number(m.Value),
+			)
+			if err := unwound.insert(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	// Stage 2: hash join TMIN x TMAX on (station, date) over the
+	// intermediate collection.
+	groups := map[string][]Measurement{}
+	if err := unwound.scan(func(doc item.Item) error {
+		o, ok := doc.(*item.Object)
+		if !ok {
+			return nil
+		}
+		m := Measurement{}
+		if s, ok := o.Value("date").(item.String); ok {
+			m.Date = string(s)
+		}
+		if s, ok := o.Value("dataType").(item.String); ok {
+			m.DataType = string(s)
+		}
+		if s, ok := o.Value("station").(item.String); ok {
+			m.Station = string(s)
+		}
+		if n, ok := o.Value("value").(item.Number); ok {
+			m.Value = float64(n)
+		}
+		key := m.Station + "\x00" + m.Date
+		groups[key] = append(groups[key], m)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	return avgDiffOfGroups(groups), nil
+}
+
+func avgDiffOfGroups(groups map[string][]Measurement) float64 {
+	var sum float64
+	var n int
+	for _, ms := range groups {
+		for _, lo := range ms {
+			if lo.DataType != "TMIN" {
+				continue
+			}
+			for _, hi := range ms {
+				if hi.DataType != "TMAX" {
+					continue
+				}
+				sum += hi.Value - lo.Value
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n) / 10
+}

@@ -1,0 +1,157 @@
+package mongosim
+
+import (
+	"errors"
+	"testing"
+
+	"vxq/internal/gen"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+func testSource(t *testing.T, measPerArray int) runtime.Source {
+	t.Helper()
+	cfg := gen.Default()
+	cfg.Files = 4
+	cfg.RecordsPerFile = 6
+	cfg.MeasurementsPerArray = measPerArray
+	docs, _, err := cfg.InMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runtime.MemSource{Collections: map[string]map[string][]byte{"/sensors": docs}}
+}
+
+func TestLoadUnwrapsRootMembers(t *testing.T) {
+	st, err := Load(testSource(t, 10), "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DocumentsLoaded != 4*6 {
+		t.Errorf("documents = %d, want 24", st.DocumentsLoaded)
+	}
+	if st.StoredBytes <= 0 || st.RawBytes <= 0 {
+		t.Errorf("stored=%d raw=%d", st.StoredBytes, st.RawBytes)
+	}
+	if st.StoredBytes >= st.RawBytes {
+		t.Errorf("compression should shrink: stored=%d raw=%d", st.StoredBytes, st.RawBytes)
+	}
+}
+
+func TestCompressionBetterForLargerDocuments(t *testing.T) {
+	// The Fig. 18b shape: smaller documents compress worse, so the stored
+	// ratio (stored/raw) grows as measurements/array shrinks.
+	big, err := Load(testSource(t, 30), "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Load(testSource(t, 1), "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigRatio := float64(big.StoredBytes) / float64(big.RawBytes)
+	smallRatio := float64(small.StoredBytes) / float64(small.RawBytes)
+	if smallRatio <= bigRatio {
+		t.Errorf("small docs should compress worse: big=%.3f small=%.3f", bigRatio, smallRatio)
+	}
+}
+
+func TestSelectDates(t *testing.T) {
+	st, err := Load(testSource(t, 10), "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dates, err := st.SelectDates(func(d item.DateTime) bool {
+		return d.Year >= 2003 && d.Month == 12 && d.Day == 25
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dates) == 0 {
+		t.Fatal("no Dec-25 dates found")
+	}
+	for _, d := range dates {
+		dt, err := item.ParseDateTime(d)
+		if err != nil || dt.Month != 12 || dt.Day != 25 || dt.Year < 2003 {
+			t.Errorf("bad selected date %s", d)
+		}
+	}
+}
+
+func TestCountStationsByDate(t *testing.T) {
+	st, err := Load(testSource(t, 10), "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := st.CountStationsByDate("TMIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) == 0 {
+		t.Fatal("no TMIN groups")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	// 24 documents x 10 measurements, types cycle over 5 -> 2 TMIN each.
+	if total != 24*2 {
+		t.Errorf("total TMIN = %d, want 48", total)
+	}
+}
+
+func TestGroupedSelfJoinHitsDocumentLimit(t *testing.T) {
+	st, err := Load(testSource(t, 10), "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.DocLimit = 64 // laptop-scale stand-in for 16 MB
+	_, err = st.GroupedSelfJoin()
+	var tooLarge ErrDocumentTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("expected ErrDocumentTooLarge, got %v", err)
+	}
+}
+
+func TestUnwindProjectJoinMatchesGrouped(t *testing.T) {
+	st, err := Load(testSource(t, 10), "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := st.GroupedSelfJoin() // default 16 MB limit: fine at this scale
+	if err != nil {
+		t.Fatal(err)
+	}
+	unwound, err := st.UnwindProjectJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped != unwound {
+		t.Errorf("strategies disagree: grouped=%v unwound=%v", grouped, unwound)
+	}
+	if unwound == 0 {
+		t.Error("join produced no matches")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	src := &runtime.MemSource{Collections: map[string]map[string][]byte{
+		"/bad-json":  {"x.json": []byte(`{"root": [`)},
+		"/no-root":   {"x.json": []byte(`{"other": 1}`)},
+		"/root-type": {"x.json": []byte(`{"root": 5}`)},
+	}}
+	for _, coll := range []string{"/bad-json", "/no-root", "/root-type", "/missing"} {
+		if _, err := Load(src, coll); err == nil {
+			t.Errorf("Load(%s) should fail", coll)
+		}
+	}
+}
+
+func TestInsertRespectsLimitAtLoad(t *testing.T) {
+	st := &Store{DocLimit: 8}
+	err := st.insert(item.ObjectFromPairs("k", item.String("a long enough value")))
+	var tooLarge ErrDocumentTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("expected ErrDocumentTooLarge, got %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sparksim is a SparkSQL-like comparison system (§5.3, Fig. 19,
+// Tables 2-3): raw JSON is *loaded* into an in-memory relational
+// representation (schema inference over the flattened measurements, row
+// objects with per-row overhead, like a JVM DataFrame), and queries then
+// run over the in-memory table. The paper's Spark observations this
+// reproduces: the load phase grows with the dataset and dominates for
+// medium files; memory consumption is a large multiple of the raw data
+// (Table 3); datasets beyond the memory budget fail to load at all.
+package sparksim
+
+import (
+	"errors"
+	"fmt"
+
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+	"vxq/internal/runtime"
+)
+
+// ErrOutOfMemory reports that loading exceeded the configured memory
+// budget, like SparkSQL failing to load datasets beyond the node's RAM.
+var ErrOutOfMemory = errors.New("sparksim: dataset exceeds the executor memory budget")
+
+// RowOverheadBytes models the JVM object/boxing overhead per row that makes
+// a loaded DataFrame several times larger than the raw JSON (Table 3 shows
+// ~7-14x on the paper's hardware).
+const RowOverheadBytes = 112
+
+// Row is one flattened measurement.
+type Row struct {
+	Date     string
+	DataType string
+	Station  string
+	Value    float64
+}
+
+// Table is a loaded in-memory dataset.
+type Table struct {
+	Rows []Row
+	// Schema is the inferred field set.
+	Schema []string
+	// MemoryBytes is the modeled in-memory footprint.
+	MemoryBytes int64
+	// RawBytes is the raw JSON volume that was parsed.
+	RawBytes int64
+}
+
+// Config bounds the loader.
+type Config struct {
+	// MemoryLimitBytes fails the load when the in-memory table exceeds it
+	// (0 = unlimited).
+	MemoryLimitBytes int64
+}
+
+// Load materializes the flattened measurement table the way Spark's JSON
+// reader does when no schema is supplied: a first full pass over the data
+// infers the schema, then a second full pass parses again and builds the
+// row objects (boxed field values, modeling DataFrame Row allocation).
+func Load(src runtime.Source, collection string, cfg Config) (*Table, error) {
+	files, err := src.Files(collection)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{}
+	path := jsonparse.Path{
+		jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("results"), jsonparse.MembersStep(),
+	}
+
+	// Pass 1: schema inference over the whole input.
+	fields := map[string]bool{}
+	for _, f := range files {
+		raw, err := src.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		t.RawBytes += int64(len(raw))
+		doc, err := jsonparse.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sparksim: %s: %w", f, err)
+		}
+		for _, m := range jsonparse.ApplyPath(doc, path) {
+			if mo, ok := m.(*item.Object); ok {
+				for _, k := range mo.Keys() {
+					fields[k] = true
+				}
+			}
+		}
+	}
+	for k := range fields {
+		t.Schema = append(t.Schema, k)
+	}
+
+	// Pass 2: parse again and materialize the rows.
+	for _, f := range files {
+		raw, err := src.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := jsonparse.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sparksim: %s: %w", f, err)
+		}
+		for _, m := range jsonparse.ApplyPath(doc, path) {
+			mo, ok := m.(*item.Object)
+			if !ok {
+				continue
+			}
+			// Box the row like a generic DataFrame Row (per-field objects),
+			// then keep the flat struct for query execution.
+			boxed := make(item.Sequence, 0, len(t.Schema))
+			for _, k := range t.Schema {
+				if v := mo.Value(k); v != nil {
+					boxed = append(boxed, v)
+				} else {
+					boxed = append(boxed, item.Null{})
+				}
+			}
+			row := Row{}
+			if s, ok := mo.Value("date").(item.String); ok {
+				row.Date = string(s)
+			}
+			if s, ok := mo.Value("dataType").(item.String); ok {
+				row.DataType = string(s)
+			}
+			if s, ok := mo.Value("station").(item.String); ok {
+				row.Station = string(s)
+			}
+			if n, ok := mo.Value("value").(item.Number); ok {
+				row.Value = float64(n)
+			}
+			t.Rows = append(t.Rows, row)
+			t.MemoryBytes += item.SizeBytesSeq(boxed) + RowOverheadBytes
+			if cfg.MemoryLimitBytes > 0 && t.MemoryBytes > cfg.MemoryLimitBytes {
+				return nil, fmt.Errorf("%w: %d bytes > %d limit", ErrOutOfMemory,
+					t.MemoryBytes, cfg.MemoryLimitBytes)
+			}
+		}
+	}
+	return t, nil
+}
+
+// CountStationsByDate runs the Q1-equivalent SQL over the loaded table:
+// SELECT date, count(station) FROM t WHERE dataType = ? GROUP BY date.
+func (t *Table) CountStationsByDate(dataType string) map[string]int {
+	counts := map[string]int{}
+	for _, r := range t.Rows {
+		if r.DataType == dataType {
+			counts[r.Date]++
+		}
+	}
+	return counts
+}
+
+// SelectDates runs the Q0b-equivalent SQL selection over the loaded table.
+func (t *Table) SelectDates(pred func(item.DateTime) bool) []string {
+	var out []string
+	for _, r := range t.Rows {
+		d, err := item.ParseDateTime(r.Date)
+		if err != nil {
+			continue
+		}
+		if pred(d) {
+			out = append(out, r.Date)
+		}
+	}
+	return out
+}

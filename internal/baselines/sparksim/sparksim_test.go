@@ -1,0 +1,109 @@
+package sparksim
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"vxq/internal/gen"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+func testSource(t *testing.T, files int) runtime.Source {
+	t.Helper()
+	cfg := gen.Default()
+	cfg.Files = files
+	cfg.RecordsPerFile = 5
+	cfg.MeasurementsPerArray = 10
+	docs, _, err := cfg.InMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runtime.MemSource{Collections: map[string]map[string][]byte{"/sensors": docs}}
+}
+
+func TestLoadFlattensMeasurements(t *testing.T) {
+	table, err := Load(testSource(t, 4), "/sensors", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4*5*10 {
+		t.Errorf("rows = %d, want 200", len(table.Rows))
+	}
+	if table.MemoryBytes <= table.RawBytes/4 {
+		t.Errorf("memory model too small: mem=%d raw=%d", table.MemoryBytes, table.RawBytes)
+	}
+	sort.Strings(table.Schema)
+	want := []string{"dataType", "date", "station", "value"}
+	if len(table.Schema) != 4 {
+		t.Fatalf("schema = %v", table.Schema)
+	}
+	for i, k := range want {
+		if table.Schema[i] != k {
+			t.Fatalf("schema = %v, want %v", table.Schema, want)
+		}
+	}
+}
+
+func TestMemoryLimitFailsLoad(t *testing.T) {
+	_, err := Load(testSource(t, 4), "/sensors", Config{MemoryLimitBytes: 1000})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestMemoryGrowsWithData(t *testing.T) {
+	small, err := Load(testSource(t, 2), "/sensors", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Load(testSource(t, 8), "/sensors", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MemoryBytes <= small.MemoryBytes {
+		t.Errorf("memory should grow with data: small=%d big=%d", small.MemoryBytes, big.MemoryBytes)
+	}
+}
+
+func TestCountStationsByDate(t *testing.T) {
+	table, err := Load(testSource(t, 4), "/sensors", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := table.CountStationsByDate("TMIN")
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	// 20 records x 10 measurements with 5 cycling types -> 2 TMIN each.
+	if total != 20*2 {
+		t.Errorf("total TMIN rows = %d, want 40", total)
+	}
+}
+
+func TestSelectDates(t *testing.T) {
+	table, err := Load(testSource(t, 4), "/sensors", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dates := table.SelectDates(func(d item.DateTime) bool {
+		return d.Month == 12 && d.Day == 25 && d.Year >= 2003
+	})
+	if len(dates) == 0 {
+		t.Error("no matching dates")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	src := &runtime.MemSource{Collections: map[string]map[string][]byte{
+		"/bad": {"x.json": []byte(`{"root": [`)},
+	}}
+	if _, err := Load(src, "/bad", Config{}); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	if _, err := Load(src, "/missing", Config{}); err == nil {
+		t.Error("missing collection must fail")
+	}
+}

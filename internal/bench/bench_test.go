@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"vxq/internal/baselines/mongosim"
+	"vxq/internal/baselines/sparksim"
+	"vxq/internal/core"
+	"vxq/internal/item"
+)
+
+// TestAllExperimentsRun executes every registered experiment at the quick
+// scale and sanity-checks the produced tables.
+func TestAllExperimentsRun(t *testing.T) {
+	exps := All()
+	if len(exps) != 18 {
+		t.Fatalf("registered experiments = %d, want 18 (one per table/figure)", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Settings{})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tbl.Title)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Errorf("%s: row width %d != header width %d", e.ID, len(row), len(tbl.Header))
+					}
+				}
+				s := tbl.String()
+				if !strings.Contains(s, tbl.Title) {
+					t.Errorf("%s: rendering missing title", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig13"); !ok {
+		t.Error("fig13 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+// TestCrossSystemAgreement verifies that all systems compute the same
+// answers on the same dataset — the baselines are fair comparisons, not
+// strawmen.
+func TestCrossSystemAgreement(t *testing.T) {
+	src, _, err := sensorSource(defaultDataset(Settings{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Q0b selection count: VXQuery vs MongoDB vs Spark.
+	res, _, err := runQuery(QueryQ0b, core.AllRules(), 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vxqCount := len(res.Rows)
+
+	st, err := mongosim.Load(src, "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mongoDates, err := st.SelectDates(dec25Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mongoDates) != vxqCount {
+		t.Errorf("Q0b: vxq=%d mongo=%d", vxqCount, len(mongoDates))
+	}
+
+	table, err := sparksim.Load(src, "/sensors", sparksim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparkDates := table.SelectDates(dec25Pred)
+	if len(sparkDates) != vxqCount {
+		t.Errorf("Q0b: vxq=%d spark=%d", vxqCount, len(sparkDates))
+	}
+
+	// Q1 group counts: VXQuery vs MongoDB vs Spark.
+	res, _, err = runQuery(QueryQ1, core.AllRules(), 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vxqTotal float64
+	for _, row := range res.Rows {
+		n, err := row[0].One()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vxqTotal += float64(n.(item.Number))
+	}
+	mongoCounts, err := st.CountStationsByDate("TMIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mongoTotal float64
+	for _, c := range mongoCounts {
+		mongoTotal += float64(c)
+	}
+	if len(mongoCounts) != len(res.Rows) || mongoTotal != vxqTotal {
+		t.Errorf("Q1: vxq groups=%d total=%v; mongo groups=%d total=%v",
+			len(res.Rows), vxqTotal, len(mongoCounts), mongoTotal)
+	}
+	sparkCounts := table.CountStationsByDate("TMIN")
+	var sparkTotal float64
+	for _, c := range sparkCounts {
+		sparkTotal += float64(c)
+	}
+	if len(sparkCounts) != len(res.Rows) || sparkTotal != vxqTotal {
+		t.Errorf("Q1: vxq groups=%d total=%v; spark groups=%d total=%v",
+			len(res.Rows), vxqTotal, len(sparkCounts), sparkTotal)
+	}
+
+	// Q2 average: VXQuery vs MongoDB (unwind+project strategy).
+	res, _, err = runQuery(QueryQ2, core.AllRules(), 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Q2 rows = %d", len(res.Rows))
+	}
+	q2it, err := res.Rows[0][0].One()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vxqAvg := float64(q2it.(item.Number))
+	mongoAvg, err := st.UnwindProjectJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := vxqAvg - mongoAvg; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Q2: vxq=%v mongo=%v", vxqAvg, mongoAvg)
+	}
+}
+
+// TestPipeliningShapeHolds asserts the headline result at harness scale:
+// the pipelining rules must deliver a large speedup (the paper reports ~2
+// orders of magnitude; we require at least 3x at the small default scale,
+// where constant costs compress ratios).
+func TestPipeliningShapeHolds(t *testing.T) {
+	src, _, err := sensorSource(ablationDataset(Settings{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, before, err := runQuery(QueryQ0b, core.RuleConfig{PathRules: true}, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := runQuery(QueryQ0b, core.RuleConfig{PathRules: true, PipeliningRules: true}, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(before) < 3*float64(after) {
+		t.Errorf("pipelining speedup too small: before=%v after=%v", before, after)
+	}
+}
+
+// TestMongoCompressionShape asserts the Fig. 18b shape: stored bytes grow
+// as documents shrink.
+func TestMongoCompressionShape(t *testing.T) {
+	big, _, err := sensorSource(sweepConfig(Settings{}, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _, err := sensorSource(sweepConfig(Settings{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBig, err := mongosim.Load(big, "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stSmall, err := mongosim.Load(small, "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigRatio := float64(stBig.StoredBytes) / float64(stBig.RawBytes)
+	smallRatio := float64(stSmall.StoredBytes) / float64(stSmall.RawBytes)
+	if smallRatio <= bigRatio {
+		t.Errorf("compression ratio should degrade for small docs: 30/array=%.3f 1/array=%.3f",
+			bigRatio, smallRatio)
+	}
+}

@@ -1,0 +1,91 @@
+// Package cluster ties query execution to the virtual-time cluster model:
+// it compiles a query for nodes x partitions-per-node total partitions,
+// runs it for real with the staged executor (measuring each partition
+// task's single-core work), and asks the simsched model for the wall-clock
+// time the same work would take on the modeled cluster.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"vxq/internal/core"
+	"vxq/internal/hyracks"
+	"vxq/internal/runtime"
+	"vxq/internal/simsched"
+)
+
+// Config describes the modeled cluster an execution is scheduled onto.
+type Config struct {
+	// Nodes is the cluster size (the paper scales 1..9).
+	Nodes int
+	// PartitionsPerNode is the per-node partition count (the paper uses 4,
+	// matching the cores).
+	PartitionsPerNode int
+	// Model is the virtual-time cost model.
+	Model simsched.Model
+}
+
+// DefaultConfig mirrors the paper's per-node setup.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, PartitionsPerNode: 4, Model: simsched.DefaultModel()}
+}
+
+// TotalPartitions is the job-wide partition count.
+func (c Config) TotalPartitions() int {
+	p := c.PartitionsPerNode
+	if p <= 0 {
+		p = 1
+	}
+	n := c.Nodes
+	if n <= 0 {
+		n = 1
+	}
+	return n * p
+}
+
+// Execution is the outcome of a cluster run: the real results plus the
+// modeled wall-clock time.
+type Execution struct {
+	Result *hyracks.Result
+	// SimulatedWall is the modeled wall-clock time on the configured
+	// cluster.
+	SimulatedWall time.Duration
+	// MeasuredWork is the total single-core work across all tasks.
+	MeasuredWork time.Duration
+	// Compiled carries the plans for inspection.
+	Compiled *core.Compiled
+}
+
+// Run compiles and executes a query on the modeled cluster.
+func Run(query string, rules core.RuleConfig, cfg Config, src runtime.Source) (*Execution, error) {
+	compiled, err := core.CompileQuery(query, core.Options{
+		Rules:      rules,
+		Partitions: cfg.TotalPartitions(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := hyracks.RunStaged(compiled.Job, &hyracks.Env{Source: src})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	nodes := cfg.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	wall, err := cfg.Model.JobWall(compiled.Job, res, nodes)
+	if err != nil {
+		return nil, err
+	}
+	var work time.Duration
+	for _, t := range res.Tasks {
+		work += t.Elapsed
+	}
+	return &Execution{
+		Result:        res,
+		SimulatedWall: wall,
+		MeasuredWork:  work,
+		Compiled:      compiled,
+	}, nil
+}

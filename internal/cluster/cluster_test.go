@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"vxq/internal/core"
+	"vxq/internal/gen"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+const q1 = `
+for $r in collection("/sensors")("root")()("results")()
+where $r("dataType") eq "TMIN"
+group by $date := $r("date")
+return count($r("station"))`
+
+func source(t *testing.T, files int) runtime.Source {
+	t.Helper()
+	cfg := gen.Default()
+	cfg.Files = files
+	cfg.RecordsPerFile = 4
+	cfg.MeasurementsPerArray = 10
+	docs, _, err := cfg.InMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runtime.MemSource{Collections: map[string]map[string][]byte{"/sensors": docs}}
+}
+
+func TestRunProducesResultsAndTiming(t *testing.T) {
+	src := source(t, 8)
+	ex, err := Run(q1, core.AllRules(), DefaultConfig(2), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Result.Rows) == 0 {
+		t.Error("no result rows")
+	}
+	if ex.SimulatedWall <= 0 || ex.MeasuredWork <= 0 {
+		t.Errorf("wall=%v work=%v", ex.SimulatedWall, ex.MeasuredWork)
+	}
+	if ex.Compiled == nil || ex.Compiled.Job == nil {
+		t.Error("compiled job missing")
+	}
+}
+
+func TestResultsIndependentOfClusterSize(t *testing.T) {
+	src := source(t, 9)
+	var want string
+	for _, nodes := range []int{1, 2, 3} {
+		ex, err := Run(q1, core.AllRules(), DefaultConfig(nodes), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.Result.SortRows()
+		got := ""
+		for _, row := range ex.Result.Rows {
+			for _, f := range row {
+				got += item.JSONSeq(f) + "|"
+			}
+			got += "\n"
+		}
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("nodes=%d results differ", nodes)
+		}
+	}
+}
+
+func TestTotalPartitions(t *testing.T) {
+	if got := (Config{Nodes: 3, PartitionsPerNode: 4}).TotalPartitions(); got != 12 {
+		t.Errorf("partitions = %d, want 12", got)
+	}
+	if got := (Config{}).TotalPartitions(); got != 1 {
+		t.Errorf("zero config partitions = %d, want 1", got)
+	}
+}
+
+func TestCompileErrorPropagates(t *testing.T) {
+	if _, err := Run("not a query ((", core.AllRules(), DefaultConfig(1), source(t, 1)); err == nil {
+		t.Error("expected parse error")
+	}
+}

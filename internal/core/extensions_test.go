@@ -1,0 +1,422 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"vxq/internal/jsoniq"
+
+	"vxq/internal/hyracks"
+	"vxq/internal/item"
+)
+
+// Tests for the language extensions beyond the paper's five queries:
+// JSONiq object/array constructors and the order-by clause.
+
+func TestOrderByAscending(t *testing.T) {
+	q := `
+		for $r in collection("/sensors")("root")()("results")()
+		where $r("dataType") eq "TMIN"
+		order by $r("value")
+		return $r("value")`
+	c, err := CompileQuery(q, Options{Rules: AllRules(), Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ordered {
+		t.Fatal("query with order-by must be marked Ordered")
+	}
+	if !strings.Contains(c.OptimizedPlan, "ORDER-BY") {
+		t.Fatalf("plan missing ORDER-BY:\n%s", c.OptimizedPlan)
+	}
+	res, err := hyracks.RunStaged(c.Job, &hyracks.Env{Source: sensorSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var prev float64 = -1e18
+	for _, row := range res.Rows {
+		v, err := row[0].One()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := float64(v.(item.Number))
+		if f < prev {
+			t.Fatalf("not ascending: %v after %v", f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestOrderByDescendingMultiKey(t *testing.T) {
+	q := `
+		for $r in collection("/sensors")("root")()("results")()
+		order by $r("dataType") descending, $r("value") ascending
+		return [$r("dataType"), $r("value")]`
+	c, err := CompileQuery(q, Options{Rules: AllRules(), Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hyracks.RunStaged(c.Job, &hyracks.Env{Source: sensorSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevType string
+	var prevVal float64
+	first := true
+	for _, row := range res.Rows {
+		it, _ := row[0].One()
+		pair := it.(item.Array)
+		typ := string(pair[0].(item.String))
+		val := float64(pair[1].(item.Number))
+		if !first {
+			if typ > prevType {
+				t.Fatalf("dataType not descending: %q after %q", typ, prevType)
+			}
+			if typ == prevType && val < prevVal {
+				t.Fatalf("value not ascending within %q: %v after %v", typ, val, prevVal)
+			}
+		}
+		prevType, prevVal, first = typ, val, false
+	}
+}
+
+func TestObjectConstructorInReturn(t *testing.T) {
+	q := `
+		for $r in collection("/sensors")("root")()("results")()
+		where $r("dataType") eq "TMIN"
+		group by $date := $r("date")
+		return {"date": $date, "stations": count($r("station"))}`
+	res := runQuery(t, q, AllRules(), 2)
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		it, err := row[0].One()
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, ok := it.(*item.Object)
+		if !ok {
+			t.Fatalf("expected object, got %s", item.JSON(it))
+		}
+		if obj.Value("date") == nil || obj.Value("stations") == nil {
+			t.Fatalf("missing fields: %s", item.JSON(obj))
+		}
+		if c := obj.Value("stations").(item.Number); float64(c) != 3 {
+			t.Errorf("stations = %v, want 3", c)
+		}
+	}
+}
+
+func TestArrayConstructorFlattens(t *testing.T) {
+	q := `[1, 2 + 3, "x"]`
+	res := runQuery(t, q, AllRules(), 1)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	it, _ := res.Rows[0][0].One()
+	want := item.Array{item.Number(1), item.Number(5), item.String("x")}
+	if !item.Equal(it, want) {
+		t.Errorf("got %s", item.JSON(it))
+	}
+}
+
+func TestNestedConstructors(t *testing.T) {
+	q := `{"outer": {"inner": [1, 2]}, "empty": [] }`
+	res := runQuery(t, q, AllRules(), 1)
+	it, _ := res.Rows[0][0].One()
+	obj := it.(*item.Object)
+	inner := obj.Value("outer").(*item.Object).Value("inner").(item.Array)
+	if len(inner) != 2 {
+		t.Errorf("inner = %s", item.JSON(obj))
+	}
+	if e := obj.Value("empty").(item.Array); len(e) != 0 {
+		t.Errorf("empty = %s", item.JSON(e))
+	}
+}
+
+func TestObjectConstructorNullOnEmpty(t *testing.T) {
+	// An empty value becomes null.
+	q := `
+		for $x in collection("/sensors")("root")()("results")()
+		order by $x("date")
+		return {"missing": $x("no-such-key"), "date": $x("date")}`
+	res := runQuery(t, q, AllRules(), 1)
+	it, _ := res.Rows[0][0].One()
+	obj := it.(*item.Object)
+	if _, ok := obj.Value("missing").(item.Null); !ok {
+		t.Errorf("missing field should be null: %s", item.JSON(obj))
+	}
+}
+
+func TestObjectConstructorErrors(t *testing.T) {
+	cases := []string{
+		`{1: "v"}`, // non-string key
+		`for $r in collection("/sensors")("root")() return {"k": $r("results")()}`, // multi-item value
+	}
+	for _, q := range cases {
+		c, err := CompileQuery(q, Options{Rules: AllRules()})
+		if err != nil {
+			continue // compile-time rejection is fine too
+		}
+		if _, err := hyracks.RunStaged(c.Job, &hyracks.Env{Source: sensorSource()}); err == nil {
+			t.Errorf("query %q should fail at runtime", q)
+		}
+	}
+}
+
+func TestOrderByAfterGroupBy(t *testing.T) {
+	q := `
+		for $r in collection("/sensors")("root")()("results")()
+		where $r("dataType") eq "TMIN"
+		group by $date := $r("date")
+		order by $date descending
+		return $date`
+	res := runQuery(t, q, AllRules(), 2)
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestOrderPreservedThroughBothExecutors(t *testing.T) {
+	q := `
+		for $r in collection("/sensors")("root")()("results")()
+		order by $r("value") descending
+		return $r("value")`
+	c, err := CompileQuery(q, Options{Rules: AllRules(), Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := hyracks.RunStaged(c.Job, &hyracks.Env{Source: sensorSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := hyracks.RunPipelined(c.Job, &hyracks.Env{Source: sensorSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NOTE: no SortRows here — the engine's order must already agree.
+	if rowsString(staged) != rowsString(piped) {
+		t.Error("executors disagree on ordered output")
+	}
+	// And it must be descending.
+	var prev = 1e18
+	for _, row := range staged.Rows {
+		v, _ := row[0].One()
+		f := float64(v.(item.Number))
+		if f > prev {
+			t.Fatalf("not descending: %v after %v", f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestRecordBoundaryMergeStopsAtFirstMembers(t *testing.T) {
+	// AsterixDB mode: the DATASCAN projects record-granular members
+	// ("root")() and the remaining navigation stays above as expressions —
+	// stepsToExpr reconstructs value/keys-or-members chains.
+	rules := AllRules()
+	rules.NoProjectionPushdown = true
+	c, err := CompileQuery(queryQ0, Options{Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.OptimizedPlan, `DATASCAN $v`) ||
+		!strings.Contains(c.OptimizedPlan, `("root")()`) {
+		t.Fatalf("scan should project to the record boundary:\n%s", c.OptimizedPlan)
+	}
+	if strings.Contains(c.OptimizedPlan, `("root")()("results")()`+"\n") {
+		t.Fatalf("scan must not project past the record boundary:\n%s", c.OptimizedPlan)
+	}
+	if !strings.Contains(c.OptimizedPlan, "keys-or-members(value(") {
+		t.Fatalf("remaining navigation should be rebuilt above the scan:\n%s", c.OptimizedPlan)
+	}
+	// And it still computes the right answer.
+	res, err := hyracks.RunStaged(c.Job, &hyracks.Env{Source: sensorSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Errorf("rows = %d, want 12", len(res.Rows))
+	}
+}
+
+func TestTranslateWrapper(t *testing.T) {
+	ast, err := jsoniq.Parse(`collection("/sensors")("root")()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Translate(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "collection(") {
+		t.Errorf("plan:\n%s", plan)
+	}
+	if _, err := Translate(&jsoniq.FLWOR{Clauses: nil, Return: &jsoniq.VarRef{Name: "nope"}}); err == nil {
+		t.Error("unbound variable must fail")
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	for _, r := range AllRules().Rules() {
+		if r.Name() == "" {
+			t.Errorf("rule %T has empty name", r)
+		}
+	}
+	rb := MergePathIntoDataScan{RecordBoundary: true}
+	plain := MergePathIntoDataScan{}
+	if rb.Name() == plain.Name() {
+		t.Error("record-boundary variant should have a distinct name")
+	}
+}
+
+func TestRangeFilterFlippedComparison(t *testing.T) {
+	// Constant on the left: "2010-01-01" le $d is the same as $d ge ... .
+	q := `
+		for $d in collection("/sensors")("root")()("results")()("date")
+		where "2010-01-01" le $d and "2011-01-01" gt $d
+		return $d`
+	c, err := CompileQuery(q, Options{Rules: AllRules()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.OptimizedPlan, `filter{`) ||
+		!strings.Contains(c.OptimizedPlan, `["2010-01-01", "2011-01-01")`) {
+		t.Errorf("flipped comparisons should produce the same filter:\n%s", c.OptimizedPlan)
+	}
+}
+
+func TestRangeFilterEquality(t *testing.T) {
+	q := `
+		for $r in collection("/sensors")("root")()("results")()
+		where $r("dataType") eq "TMIN"
+		return $r`
+	c, err := CompileQuery(q, Options{Rules: AllRules()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.OptimizedPlan, `filter{("root")()("results")()("dataType") in ["TMIN", "TMIN"]}`) {
+		t.Errorf("equality filter missing:\n%s", c.OptimizedPlan)
+	}
+	res, err := hyracks.RunStaged(c.Job, &hyracks.Env{Source: sensorSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no rows")
+	}
+}
+
+func TestRangeFilterNotAttachedForNonConstOrNonPath(t *testing.T) {
+	cases := []string{
+		// Predicate through a function: not a plain path comparison.
+		queryQ0,
+		// Comparison between two paths of the same tuple.
+		`for $r in collection("/sensors")("root")()("results")()
+		 where $r("value") ge $r("value")
+		 return $r`,
+	}
+	for _, q := range cases {
+		c, err := CompileQuery(q, Options{Rules: AllRules()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(c.OptimizedPlan, "filter{") {
+			t.Errorf("no filter expected for %q:\n%s", q, c.OptimizedPlan)
+		}
+	}
+}
+
+func TestNestedFLWORWithLetAndWhere(t *testing.T) {
+	// translateNestedClauses: let and where inside a subplan FLWOR.
+	q := `
+		for $r in collection("/sensors")("root")()("results")()
+		group by $date := $r("date")
+		return count(for $i in $r
+		             let $t := $i("dataType")
+		             where $t eq "TMIN"
+		             return $i("station"))`
+	res := runQuery(t, q, RuleConfig{PathRules: true, PipeliningRules: true}, 1)
+	if len(res.Rows) == 0 {
+		t.Fatal("no groups")
+	}
+	var total float64
+	for _, row := range res.Rows {
+		c, err := row[0].One()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(c.(item.Number))
+	}
+	// 3 files x 4 TMIN measurements each (see sensorSource).
+	if total != 12 {
+		t.Errorf("total TMIN = %v, want 12", total)
+	}
+}
+
+func TestMinMaxAggregateQueries(t *testing.T) {
+	// min/max over a FLWOR (the Q2 shape) with every partitioning mode.
+	q := `
+		max(
+		  for $r in collection("/sensors")("root")()("results")()
+		  where $r("dataType") eq "TMAX"
+		  return $r("value")
+		)`
+	var want string
+	for _, parts := range []int{1, 2, 4} {
+		res := runQuery(t, q, AllRules(), parts)
+		if len(res.Rows) != 1 {
+			t.Fatalf("parts=%d rows = %d", parts, len(res.Rows))
+		}
+		got := item.JSONSeq(res.Rows[0][0])
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("parts=%d max = %s, want %s", parts, got, want)
+		}
+	}
+	// Per the sensorSource data the maximum TMAX is 15+2 = 17.
+	if want != "17" {
+		t.Errorf("max = %s, want 17", want)
+	}
+
+	// min/max pushed into a group-by.
+	gq := `
+		for $r in collection("/sensors")("root")()("results")()
+		where $r("dataType") eq "TMAX"
+		group by $st := $r("station")
+		return {"station": $st, "hottest": max($r("value"))}`
+	res := runQuery(t, gq, AllRules(), 2)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(res.Rows))
+	}
+	c, err := CompileQuery(gq, Options{Rules: AllRules(), Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(c.OptimizedPlan, "sequence(") {
+		t.Errorf("max should be pushed into the group-by:\n%s", c.OptimizedPlan)
+	}
+}
+
+func TestStringFunctionsInQueries(t *testing.T) {
+	q := `
+		for $r in collection("/sensors")("root")()("results")()
+		where starts-with($r("station"), "ST00") and contains($r("date"), "-12-25")
+		order by $r("date")
+		return concat(substring($r("date"), 1, 4), "/", lower-case($r("dataType")))`
+	res := runQuery(t, q, AllRules(), 2)
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		it, _ := row[0].One()
+		s := string(it.(item.String))
+		if len(s) != len("2003/tmin") || s[4] != '/' {
+			t.Errorf("result = %q", s)
+		}
+	}
+}

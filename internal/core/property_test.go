@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vxq/internal/hyracks"
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+	"vxq/internal/runtime"
+)
+
+// End-to-end property test: for random collections of documents and random
+// navigation paths, the full engine (parse -> translate -> rewrite ->
+// compile -> execute) must return exactly what the reference evaluator
+// (parse-then-navigate over every document) returns — under every rule
+// configuration and partition count.
+
+// randomDoc builds a random JSON document (object or array root) of bounded
+// depth, with keys drawn from a small alphabet so paths sometimes match.
+func randomDoc(r *rand.Rand, depth int) item.Item {
+	if r.Intn(2) == 0 {
+		n := 1 + r.Intn(3)
+		keys := make([]string, 0, n)
+		vals := make([]item.Item, 0, n)
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			k := string(rune('a' + r.Intn(4)))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+			vals = append(vals, randomValue(r, depth-1))
+		}
+		return item.MustObject(keys, vals)
+	}
+	n := r.Intn(4)
+	arr := make(item.Array, n)
+	for i := range arr {
+		arr[i] = randomValue(r, depth-1)
+	}
+	return arr
+}
+
+func randomValue(r *rand.Rand, depth int) item.Item {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return item.Null{}
+		case 1:
+			return item.Bool(r.Intn(2) == 0)
+		case 2:
+			return item.Number(float64(r.Intn(100)))
+		default:
+			return item.String(string(rune('p' + r.Intn(5))))
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return item.Number(float64(r.Intn(100)))
+	case 1:
+		return item.String(string(rune('p' + r.Intn(5))))
+	default:
+		return randomDoc(r, depth)
+	}
+}
+
+type pathQueryCase struct {
+	Docs map[string][]byte
+	Path jsonparse.Path
+}
+
+func (pathQueryCase) Generate(r *rand.Rand, size int) reflect.Value {
+	nDocs := 1 + r.Intn(4)
+	docs := map[string][]byte{}
+	for i := 0; i < nDocs; i++ {
+		docs[fmt.Sprintf("d%02d.json", i)] = item.AppendJSON(nil, randomDoc(r, 3))
+	}
+	nSteps := 1 + r.Intn(3)
+	var p jsonparse.Path
+	for i := 0; i < nSteps; i++ {
+		switch r.Intn(4) {
+		case 0:
+			p = append(p, jsonparse.MembersStep())
+		case 1:
+			p = append(p, jsonparse.IndexStep(1+r.Intn(3)))
+		default:
+			p = append(p, jsonparse.KeyStep(string(rune('a'+r.Intn(4)))))
+		}
+	}
+	return reflect.ValueOf(pathQueryCase{Docs: docs, Path: p})
+}
+
+// queryForPath renders a collection path query in JSONiq syntax.
+func queryForPath(p jsonparse.Path) string {
+	return `collection("/c")` + p.String()
+}
+
+// referenceResult evaluates the path over every document with the reference
+// evaluator, in sorted-canonical order.
+func referenceResult(docs map[string][]byte, p jsonparse.Path) (item.Sequence, error) {
+	names := make([]string, 0, len(docs))
+	for n := range docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out item.Sequence
+	for _, n := range names {
+		doc, err := jsonparse.Parse(docs[n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, jsonparse.ApplyPath(doc, p)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return item.Compare(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+func TestQuickEngineMatchesReferenceNavigation(t *testing.T) {
+	configs := []struct {
+		name  string
+		rules RuleConfig
+		parts int
+	}{
+		{"all-rules-p1", AllRules(), 1},
+		{"all-rules-p3", AllRules(), 3},
+		{"no-rules-p1", RuleConfig{}, 1},
+		{"path-only-p1", RuleConfig{PathRules: true}, 1},
+	}
+	check := func(c pathQueryCase) bool {
+		want, err := referenceResult(c.Docs, c.Path)
+		if err != nil {
+			t.Logf("reference failed: %v", err)
+			return false
+		}
+		src := &runtime.MemSource{Collections: map[string]map[string][]byte{"/c": c.Docs}}
+		for _, cfg := range configs {
+			compiled, err := CompileQuery(queryForPath(c.Path), Options{
+				Rules: cfg.rules, Partitions: cfg.parts,
+			})
+			if err != nil {
+				t.Logf("%s: compile %q: %v", cfg.name, queryForPath(c.Path), err)
+				return false
+			}
+			res, err := hyracks.RunStaged(compiled.Job, &hyracks.Env{Source: src})
+			if err != nil {
+				t.Logf("%s: run %q: %v", cfg.name, queryForPath(c.Path), err)
+				return false
+			}
+			var got item.Sequence
+			for _, row := range res.Rows {
+				got = append(got, row[0]...)
+			}
+			sort.SliceStable(got, func(i, j int) bool { return item.Compare(got[i], got[j]) < 0 })
+			if !item.EqualSeq(got, want) {
+				t.Logf("%s: query %s\n got: %s\nwant: %s", cfg.name, queryForPath(c.Path),
+					item.JSONSeq(got), item.JSONSeq(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrderByIsSorted: for random collections, an order-by query's
+// output is sorted by the key regardless of partitioning.
+func TestQuickOrderBySorted(t *testing.T) {
+	check := func(c pathQueryCase, desc bool, seed int64) bool {
+		src := &runtime.MemSource{Collections: map[string]map[string][]byte{"/c": c.Docs}}
+		dir := ""
+		if desc {
+			dir = " descending"
+		}
+		q := fmt.Sprintf(`for $x in collection("/c")()() order by $x%s return $x`, dir)
+		compiled, err := CompileQuery(q, Options{Rules: AllRules(), Partitions: 2})
+		if err != nil {
+			return false
+		}
+		res, err := hyracks.RunStaged(compiled.Job, &hyracks.Env{Source: src})
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		var prev item.Item
+		for _, row := range res.Rows {
+			it, err := row[0].One()
+			if err != nil {
+				return false
+			}
+			if prev != nil {
+				c := item.Compare(prev, it)
+				if (!desc && c > 0) || (desc && c < 0) {
+					t.Logf("order violated: %s then %s", item.JSON(prev), item.JSON(it))
+					return false
+				}
+			}
+			prev = it
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGeneratorNontrivial guards the quality of the random cases:
+// a meaningful share must produce non-empty results, otherwise the
+// engine-vs-reference property would be vacuous.
+func TestPropertyGeneratorNontrivial(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	nonEmpty := 0
+	for i := 0; i < 60; i++ {
+		v := pathQueryCase{}.Generate(r, 50).Interface().(pathQueryCase)
+		want, err := referenceResult(v.Docs, v.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 10 {
+		t.Fatalf("only %d/60 random cases non-empty; generator too weak", nonEmpty)
+	}
+}

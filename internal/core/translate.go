@@ -1,0 +1,569 @@
+// Package core implements the paper's contribution: the JSONiq-specific
+// compilation pipeline on top of Algebricks. It contains
+//
+//   - the translator from JSONiq ASTs to the *original* (unoptimized)
+//     logical plans of Figs. 3, 5 and 9 of the paper, and
+//   - the three categories of JSONiq rewrite rules of §4 — path expression
+//     rules, pipelining rules and group-by rules — expressed as Algebricks
+//     rules, plus the rule-set sequencing that applies them.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vxq/internal/algebricks"
+	"vxq/internal/jsoniq"
+)
+
+// Translate converts a parsed query into the unoptimized logical plan, the
+// exact shape the paper's rewrite rules start from: collection() evaluated
+// by an ASSIGN, keys-or-members evaluated in two steps (ASSIGN +
+// UNNEST iterate), promote/data/treat expressions inserted, group-by
+// aggregating into sequences.
+func Translate(query jsoniq.Expr) (*algebricks.Plan, error) {
+	p, _, err := translateQuery(query)
+	return p, err
+}
+
+// translateQuery is Translate plus the ordered flag (true when the query
+// contains an order-by clause, so result order must be preserved).
+func translateQuery(query jsoniq.Expr) (*algebricks.Plan, bool, error) {
+	tr := &translator{
+		vars: &algebricks.VarAllocator{},
+		env:  map[string]binding{},
+	}
+	tr.chain = &algebricks.EmptyTupleSource{}
+	v, err := tr.translateSequence(query)
+	if err != nil {
+		return nil, false, err
+	}
+	root := &algebricks.DistributeResult{Vs: []algebricks.Var{v}, In: tr.chain}
+	return algebricks.NewPlan(root, tr.vars), tr.ordered, nil
+}
+
+// binding maps a query variable name to its logical variable; grouped
+// records whether the variable was re-bound to a sequence by a group-by
+// clause (which is what makes the translator insert treat expressions, as
+// in Fig. 9).
+type binding struct {
+	v       algebricks.Var
+	grouped bool
+}
+
+type translator struct {
+	vars  *algebricks.VarAllocator
+	chain algebricks.Op
+	env   map[string]binding
+	// ordered records whether an order-by clause was translated, so the
+	// engine knows to preserve the result order.
+	ordered bool
+}
+
+// translateSequence translates a top-level (sequence-valued) expression:
+// the value is computed per tuple and unnested so the job's result is the
+// flattened sequence, one item per tuple, matching the DISTRIBUTE step of
+// the paper's plans.
+func (tr *translator) translateSequence(e jsoniq.Expr) (algebricks.Var, error) {
+	if fl, ok := e.(*jsoniq.FLWOR); ok {
+		if err := tr.translateClauses(fl.Clauses); err != nil {
+			return 0, err
+		}
+		return tr.bindUnnested(fl.Return)
+	}
+	return tr.bindUnnested(e)
+}
+
+// bindUnnested evaluates e as a scalar expression and unnests the result so
+// each item becomes one output tuple.
+func (tr *translator) bindUnnested(e jsoniq.Expr) (algebricks.Var, error) {
+	expr, err := tr.scalar(e)
+	if err != nil {
+		return 0, err
+	}
+	src := expr
+	if _, isVar := expr.(*algebricks.VarExpr); !isVar {
+		v := tr.vars.New()
+		tr.chain = &algebricks.Assign{V: v, E: expr, In: tr.chain}
+		src = algebricks.VarRef(v)
+	}
+	out := tr.vars.New()
+	tr.chain = &algebricks.Unnest{V: out, E: algebricks.Call("iterate", src), In: tr.chain}
+	return out, nil
+}
+
+func (tr *translator) translateClauses(clauses []jsoniq.Clause) error {
+	for _, c := range clauses {
+		switch cl := c.(type) {
+		case *jsoniq.ForClause:
+			if err := tr.translateFor(cl); err != nil {
+				return err
+			}
+		case *jsoniq.LetClause:
+			expr, err := tr.scalar(cl.E)
+			if err != nil {
+				return err
+			}
+			v := tr.vars.New()
+			tr.chain = &algebricks.Assign{V: v, E: expr, In: tr.chain}
+			tr.env[cl.Var] = binding{v: v}
+		case *jsoniq.WhereClause:
+			cond, err := tr.scalar(cl.E)
+			if err != nil {
+				return err
+			}
+			tr.chain = &algebricks.Select{Cond: cond, In: tr.chain}
+		case *jsoniq.GroupByClause:
+			if err := tr.translateGroupBy(cl); err != nil {
+				return err
+			}
+		case *jsoniq.OrderByClause:
+			keys := make([]algebricks.SortKey, len(cl.Keys))
+			for i, k := range cl.Keys {
+				e, err := tr.scalar(k.E)
+				if err != nil {
+					return err
+				}
+				keys[i] = algebricks.SortKey{E: e, Desc: k.Descending}
+			}
+			tr.chain = &algebricks.Sort{Keys: keys, In: tr.chain}
+			tr.ordered = true
+		default:
+			return fmt.Errorf("core: unsupported clause %T", c)
+		}
+	}
+	return nil
+}
+
+// translateFor translates one for clause. An independent domain (one that
+// references no bound variables) over a non-empty chain becomes a
+// cross-product join, which the generic Algebricks join-extraction rule
+// later turns into a hash join (the Q2 shape).
+func (tr *translator) translateFor(cl *jsoniq.ForClause) error {
+	_, chainIsLeaf := tr.chain.(*algebricks.EmptyTupleSource)
+	if !chainIsLeaf && tr.isIndependent(cl.In) {
+		right := &translator{vars: tr.vars, env: map[string]binding{}}
+		right.chain = &algebricks.EmptyTupleSource{}
+		if err := right.translateFor(cl); err != nil {
+			return err
+		}
+		tr.chain = &algebricks.Join{
+			Cond:  algebricks.True(),
+			Left:  tr.chain,
+			Right: right.chain,
+		}
+		for name, b := range right.env {
+			tr.env[name] = b
+		}
+		return nil
+	}
+
+	// The translator produces the two-step keys-or-members evaluation of
+	// Fig. 3 / Fig. 5: the whole domain path is evaluated by ASSIGNs, then
+	// UNNEST iterate splits the sequence into tuples. A collection() at the
+	// root of the path gets its own ASSIGN + UNNEST iterate pair (Fig. 5:
+	// the collection is materialized, then iterated file by file) — the
+	// exact shape the pipelining rules rewrite into DATASCAN.
+	domain, err := tr.rewriteCollectionBase(cl.In)
+	if err != nil {
+		return err
+	}
+	expr, err := tr.scalar(domain)
+	if err != nil {
+		return err
+	}
+	src := expr
+	if _, isVar := expr.(*algebricks.VarExpr); !isVar {
+		// Mirror the paper's plans: if the outermost step is
+		// keys-or-members, keep it in its own ASSIGN (Fig. 3 has one ASSIGN
+		// for the value navigation and a second for keys-or-members).
+		if call, ok := expr.(*algebricks.CallExpr); ok && call.Fn == "keys-or-members" {
+			if _, innerIsVar := call.Args[0].(*algebricks.VarExpr); !innerIsVar {
+				inner := tr.vars.New()
+				tr.chain = &algebricks.Assign{V: inner, E: call.Args[0], In: tr.chain}
+				call.Args[0] = algebricks.VarRef(inner)
+			}
+		}
+		v := tr.vars.New()
+		tr.chain = &algebricks.Assign{V: v, E: expr, In: tr.chain}
+		src = algebricks.VarRef(v)
+	}
+	out := tr.vars.New()
+	tr.chain = &algebricks.Unnest{V: out, E: algebricks.Call("iterate", src), In: tr.chain}
+	tr.env[cl.Var] = binding{v: out}
+	return nil
+}
+
+// rewriteCollectionBase checks whether the for-domain is a navigation path
+// rooted at collection(...); if so it emits the Fig. 5 pair — ASSIGN
+// $c := collection(...) materializing the whole collection, UNNEST
+// $f := iterate($c) splitting it into files — and returns the domain with
+// the collection call replaced by a reference to the per-file variable.
+func (tr *translator) rewriteCollectionBase(domain jsoniq.Expr) (jsoniq.Expr, error) {
+	base := domain
+	for {
+		switch x := base.(type) {
+		case *jsoniq.Value:
+			base = x.Base
+			continue
+		case *jsoniq.KeysOrMembers:
+			base = x.Base
+			continue
+		}
+		break
+	}
+	call, ok := base.(*jsoniq.Call)
+	if !ok || call.Fn != "collection" || len(call.Args) != 1 {
+		return domain, nil
+	}
+	collExpr, err := tr.scalarCall(call)
+	if err != nil {
+		return nil, err
+	}
+	vc := tr.vars.New()
+	tr.chain = &algebricks.Assign{V: vc, E: collExpr, In: tr.chain}
+	vf := tr.vars.New()
+	tr.chain = &algebricks.Unnest{V: vf, E: algebricks.Call("iterate", algebricks.VarRef(vc)), In: tr.chain}
+	name := fmt.Sprintf("#file%d", int(vf))
+	tr.env[name] = binding{v: vf}
+	return replaceBase(domain, call, &jsoniq.VarRef{Name: name}), nil
+}
+
+// replaceBase rebuilds a postfix chain with its innermost base swapped.
+func replaceBase(e jsoniq.Expr, oldBase jsoniq.Expr, newBase jsoniq.Expr) jsoniq.Expr {
+	if e == oldBase {
+		return newBase
+	}
+	switch x := e.(type) {
+	case *jsoniq.Value:
+		return &jsoniq.Value{Base: replaceBase(x.Base, oldBase, newBase), Key: x.Key}
+	case *jsoniq.KeysOrMembers:
+		return &jsoniq.KeysOrMembers{Base: replaceBase(x.Base, oldBase, newBase)}
+	default:
+		return e
+	}
+}
+
+// isIndependent reports whether e references no variables bound in the
+// current environment.
+func (tr *translator) isIndependent(e jsoniq.Expr) bool {
+	free := queryFreeVars(e, nil)
+	for _, name := range free {
+		if _, bound := tr.env[name]; bound {
+			return false
+		}
+	}
+	return true
+}
+
+func queryFreeVars(e jsoniq.Expr, acc []string) []string {
+	switch x := e.(type) {
+	case *jsoniq.VarRef:
+		return append(acc, x.Name)
+	case *jsoniq.Call:
+		for _, a := range x.Args {
+			acc = queryFreeVars(a, acc)
+		}
+		return acc
+	case *jsoniq.Binary:
+		return queryFreeVars(x.R, queryFreeVars(x.L, acc))
+	case *jsoniq.Value:
+		return queryFreeVars(x.Key, queryFreeVars(x.Base, acc))
+	case *jsoniq.KeysOrMembers:
+		return queryFreeVars(x.Base, acc)
+	case *jsoniq.ObjectCons:
+		for _, pair := range x.Pairs {
+			acc = queryFreeVars(pair.Value, queryFreeVars(pair.Key, acc))
+		}
+		return acc
+	case *jsoniq.ArrayCons:
+		for _, m := range x.Members {
+			acc = queryFreeVars(m, acc)
+		}
+		return acc
+	case *jsoniq.FLWOR:
+		// Variables bound by inner clauses shadow outer ones; for the
+		// purposes of independence a conservative over-approximation
+		// (treat all referenced names as free) is fine.
+		for _, c := range x.Clauses {
+			switch cl := c.(type) {
+			case *jsoniq.ForClause:
+				acc = queryFreeVars(cl.In, acc)
+			case *jsoniq.LetClause:
+				acc = queryFreeVars(cl.E, acc)
+			case *jsoniq.WhereClause:
+				acc = queryFreeVars(cl.E, acc)
+			case *jsoniq.GroupByClause:
+				for _, k := range cl.Keys {
+					acc = queryFreeVars(k.E, acc)
+				}
+			case *jsoniq.OrderByClause:
+				for _, k := range cl.Keys {
+					acc = queryFreeVars(k.E, acc)
+				}
+			}
+		}
+		return queryFreeVars(x.Return, acc)
+	default:
+		return acc
+	}
+}
+
+// translateGroupBy emits the Fig. 9 shape: GROUP-BY with the key
+// expressions, whose inner focus AGGREGATEs every previously bound variable
+// into a sequence; those variables are re-bound to the sequences and marked
+// grouped so later references go through treat.
+func (tr *translator) translateGroupBy(cl *jsoniq.GroupByClause) error {
+	keys := make([]algebricks.KeyExpr, len(cl.Keys))
+	for i, k := range cl.Keys {
+		e, err := tr.scalar(k.E)
+		if err != nil {
+			return err
+		}
+		keys[i] = algebricks.KeyExpr{V: tr.vars.New(), E: e}
+	}
+	var names []string
+	for name := range tr.env {
+		// Internal bindings (the per-file variable of a collection scan)
+		// are never referenced after grouping and are not re-aggregated.
+		if !strings.HasPrefix(name, "#") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var aggs []algebricks.AggExpr
+	newEnv := map[string]binding{}
+	for _, name := range names {
+		av := tr.vars.New()
+		aggs = append(aggs, algebricks.AggExpr{V: av, Fn: "sequence", Arg: algebricks.VarRef(tr.env[name].v)})
+		newEnv[name] = binding{v: av, grouped: true}
+	}
+	tr.chain = &algebricks.GroupBy{Keys: keys, Aggs: aggs, In: tr.chain}
+	tr.env = newEnv
+	// The key names become visible after grouping.
+	for i, k := range cl.Keys {
+		tr.env[k.Var] = binding{v: keys[i].V}
+	}
+	return nil
+}
+
+// aggregateFns maps JSONiq aggregate function names to logical aggregate
+// operators.
+var aggregateFns = map[string]string{
+	"count": "count", "sum": "sum", "avg": "avg", "min": "min", "max": "max",
+}
+
+// scalar translates an expression used in scalar position into a logical
+// expression, possibly emitting operators (ASSIGNs, SUBPLANs, AGGREGATEs)
+// into the chain.
+func (tr *translator) scalar(e jsoniq.Expr) (algebricks.Expr, error) {
+	switch x := e.(type) {
+	case *jsoniq.NumberLit:
+		return algebricks.Num(x.Value), nil
+	case *jsoniq.StringLit:
+		return algebricks.Str(x.Value), nil
+	case *jsoniq.VarRef:
+		b, ok := tr.env[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: unbound variable $%s", x.Name)
+		}
+		if b.grouped {
+			// A grouped (sequence) variable is referenced through a treat
+			// expression, as the static typing of the original VXQuery
+			// translator would insert (Fig. 9).
+			tv := tr.vars.New()
+			tr.chain = &algebricks.Assign{
+				V: tv, E: algebricks.Call("treat", algebricks.VarRef(b.v)), In: tr.chain,
+			}
+			tr.env[x.Name] = binding{v: tv, grouped: false}
+			return algebricks.VarRef(tv), nil
+		}
+		return algebricks.VarRef(b.v), nil
+	case *jsoniq.Value:
+		base, err := tr.scalar(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		key, err := tr.scalar(x.Key)
+		if err != nil {
+			return nil, err
+		}
+		return algebricks.Call("value", base, key), nil
+	case *jsoniq.KeysOrMembers:
+		base, err := tr.scalar(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		return algebricks.Call("keys-or-members", base), nil
+	case *jsoniq.Binary:
+		return tr.scalarBinary(x)
+	case *jsoniq.Call:
+		return tr.scalarCall(x)
+	case *jsoniq.ObjectCons:
+		args := make([]algebricks.Expr, 0, 2*len(x.Pairs))
+		for _, pair := range x.Pairs {
+			k, err := tr.scalar(pair.Key)
+			if err != nil {
+				return nil, err
+			}
+			v, err := tr.scalar(pair.Value)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, k, v)
+		}
+		return algebricks.Call("object", args...), nil
+	case *jsoniq.ArrayCons:
+		args := make([]algebricks.Expr, len(x.Members))
+		for i, m := range x.Members {
+			a, err := tr.scalar(m)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = a
+		}
+		return algebricks.Call("array", args...), nil
+	case *jsoniq.FLWOR:
+		return nil, fmt.Errorf("core: FLWOR expression only supported at top level or as aggregate argument")
+	default:
+		return nil, fmt.Errorf("core: unsupported expression %T", e)
+	}
+}
+
+var binaryFns = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "div": "div", "mod": "mod",
+	"eq": "eq", "ne": "ne", "lt": "lt", "le": "le", "gt": "gt", "ge": "ge",
+	"and": "and", "or": "or",
+}
+
+func (tr *translator) scalarBinary(x *jsoniq.Binary) (algebricks.Expr, error) {
+	fn, ok := binaryFns[x.Op]
+	if !ok {
+		return nil, fmt.Errorf("core: unsupported operator %q", x.Op)
+	}
+	l, err := tr.scalar(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := tr.scalar(x.R)
+	if err != nil {
+		return nil, err
+	}
+	return algebricks.Call(fn, l, r), nil
+}
+
+func (tr *translator) scalarCall(x *jsoniq.Call) (algebricks.Expr, error) {
+	// Aggregate functions over FLWOR arguments become dataflow (the Q1b /
+	// Q2 shapes); over plain arguments they stay scalar (the Q1 shape the
+	// group-by conversion rule rewrites).
+	if aggFn, isAgg := aggregateFns[x.Fn]; isAgg && len(x.Args) == 1 {
+		if fl, ok := x.Args[0].(*jsoniq.FLWOR); ok {
+			return tr.translateAggregatedFLWOR(aggFn, fl)
+		}
+	}
+	switch x.Fn {
+	case "collection", "json-doc":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("core: %s expects one argument", x.Fn)
+		}
+		arg, err := tr.scalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		// The original VXQuery translator guards the argument with promote
+		// and data to ensure it is a string (§4.1); the path expression
+		// rules remove them.
+		return algebricks.Call(x.Fn,
+			algebricks.Call("promote", algebricks.Call("data", arg))), nil
+	default:
+		args := make([]algebricks.Expr, len(x.Args))
+		for i, a := range x.Args {
+			arg, err := tr.scalar(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = arg
+		}
+		return algebricks.Call(x.Fn, args...), nil
+	}
+}
+
+// translateAggregatedFLWOR translates count/sum/avg over a FLWOR argument.
+// With an empty chain (top level, the Q2 shape) the FLWOR is inlined into
+// the main dataflow and folded by an AGGREGATE operator. Otherwise (the Q1b
+// shape: the FLWOR iterates over an in-scope variable) it becomes a SUBPLAN
+// whose nested plan unnests the variable and aggregates incrementally —
+// exactly Fig. 11.
+func (tr *translator) translateAggregatedFLWOR(fn string, fl *jsoniq.FLWOR) (algebricks.Expr, error) {
+	if _, leaf := tr.chain.(*algebricks.EmptyTupleSource); leaf {
+		if err := tr.translateClauses(fl.Clauses); err != nil {
+			return nil, err
+		}
+		ret, err := tr.scalar(fl.Return)
+		if err != nil {
+			return nil, err
+		}
+		av := tr.vars.New()
+		tr.chain = &algebricks.Aggregate{
+			Aggs: []algebricks.AggExpr{{V: av, Fn: fn, Arg: ret}},
+			In:   tr.chain,
+		}
+		return algebricks.VarRef(av), nil
+	}
+	// Nested: build the subplan over the current tuple.
+	nested := &translator{vars: tr.vars, env: map[string]binding{}}
+	for name, b := range tr.env {
+		nested.env[name] = binding{v: b.v} // grouped flag cleared: nested for iterates the sequence
+	}
+	nested.chain = &algebricks.NestedTupleSource{}
+	if err := nested.translateNestedClauses(fl.Clauses); err != nil {
+		return nil, err
+	}
+	ret, err := nested.scalar(fl.Return)
+	if err != nil {
+		return nil, err
+	}
+	av := tr.vars.New()
+	nestedRoot := &algebricks.Aggregate{
+		Aggs: []algebricks.AggExpr{{V: av, Fn: fn, Arg: ret}},
+		In:   nested.chain,
+	}
+	tr.chain = &algebricks.Subplan{Nested: nestedRoot, In: tr.chain}
+	return algebricks.VarRef(av), nil
+}
+
+// translateNestedClauses translates the clauses of a nested FLWOR (inside a
+// subplan). Only for-over-variable, let and where are supported, which
+// covers the paper's query forms.
+func (tr *translator) translateNestedClauses(clauses []jsoniq.Clause) error {
+	for _, c := range clauses {
+		switch cl := c.(type) {
+		case *jsoniq.ForClause:
+			expr, err := tr.scalar(cl.In)
+			if err != nil {
+				return err
+			}
+			out := tr.vars.New()
+			tr.chain = &algebricks.Unnest{V: out, E: algebricks.Call("iterate", expr), In: tr.chain}
+			tr.env[cl.Var] = binding{v: out}
+		case *jsoniq.LetClause:
+			expr, err := tr.scalar(cl.E)
+			if err != nil {
+				return err
+			}
+			v := tr.vars.New()
+			tr.chain = &algebricks.Assign{V: v, E: expr, In: tr.chain}
+			tr.env[cl.Var] = binding{v: v}
+		case *jsoniq.WhereClause:
+			cond, err := tr.scalar(cl.E)
+			if err != nil {
+				return err
+			}
+			tr.chain = &algebricks.Select{Cond: cond, In: tr.chain}
+		default:
+			return fmt.Errorf("core: clause %T not supported in nested FLWOR", c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package frame implements the Hyracks tuple-frame abstraction: fixed-size
+// byte buffers that carry batches of serialized tuples between physical
+// operators. A tuple is a list of fields; each field is the binary encoding
+// of an item sequence (see vxq/internal/item).
+//
+// The frame discipline is central to the paper's story: the unoptimized
+// plans carry whole JSON documents (or whole arrays) inside a single tuple,
+// which forces oversized frames and large buffers; the rewrite rules shrink
+// tuples to one object (or one scalar) each, so they batch tightly into
+// normal-size frames and pipeline well. The memory accountant in this
+// package is how that difference is observed.
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vxq/internal/item"
+)
+
+// DefaultFrameSize is the default frame capacity in bytes (Hyracks' default
+// is 32 KiB).
+const DefaultFrameSize = 32 * 1024
+
+// Frame is a batch of serialized tuples.
+//
+// Layout: tuples are appended to data back to back; offs[i] is the start of
+// tuple i and ends[i] its end. Each tuple is encoded as
+// <uvarint fieldCount> (<uvarint fieldLen>)* (<field bytes>)*.
+type Frame struct {
+	data     []byte
+	offs     []int32
+	ends     []int32
+	capacity int
+	oversize bool
+}
+
+// New returns an empty frame with the given capacity in bytes. The backing
+// buffer grows lazily up to the capacity, so idle frames (e.g. the
+// per-consumer builders of a wide hash exchange) cost almost nothing.
+func New(capacity int) *Frame {
+	if capacity <= 0 {
+		capacity = DefaultFrameSize
+	}
+	return &Frame{capacity: capacity}
+}
+
+// Reset clears the frame for reuse without releasing its buffer.
+func (f *Frame) Reset() {
+	f.data = f.data[:0]
+	f.offs = f.offs[:0]
+	f.ends = f.ends[:0]
+	f.oversize = false
+}
+
+// TupleCount reports the number of tuples in the frame.
+func (f *Frame) TupleCount() int { return len(f.offs) }
+
+// Size reports the number of payload bytes currently in the frame.
+func (f *Frame) Size() int { return len(f.data) }
+
+// Capacity reports the frame's nominal capacity.
+func (f *Frame) Capacity() int { return f.capacity }
+
+// Oversize reports whether the frame holds a single tuple larger than the
+// nominal capacity (Hyracks' "big object" frames).
+func (f *Frame) Oversize() bool { return f.oversize }
+
+// AppendTuple appends a tuple given its raw field encodings. It returns
+// false if the tuple does not fit and the frame already holds data (the
+// caller should flush and retry). A tuple larger than the whole capacity is
+// admitted alone into the frame, which is then marked oversize.
+func (f *Frame) AppendTuple(fields [][]byte) bool {
+	need := tupleEncodedSize(fields)
+	if len(f.data)+need > f.capacity {
+		if len(f.offs) > 0 {
+			return false
+		}
+		f.oversize = true
+	}
+	start := int32(len(f.data))
+	f.data = binary.AppendUvarint(f.data, uint64(len(fields)))
+	for _, fl := range fields {
+		f.data = binary.AppendUvarint(f.data, uint64(len(fl)))
+	}
+	for _, fl := range fields {
+		f.data = append(f.data, fl...)
+	}
+	f.offs = append(f.offs, start)
+	f.ends = append(f.ends, int32(len(f.data)))
+	return true
+}
+
+func tupleEncodedSize(fields [][]byte) int {
+	n := uvarintLen(uint64(len(fields)))
+	for _, fl := range fields {
+		n += uvarintLen(uint64(len(fl))) + len(fl)
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Tuple returns an accessor for the i-th tuple.
+func (f *Frame) Tuple(i int) (Tuple, error) {
+	if i < 0 || i >= len(f.offs) {
+		return Tuple{}, fmt.Errorf("frame: tuple index %d out of range [0,%d)", i, len(f.offs))
+	}
+	return decodeTuple(f.data[f.offs[i]:f.ends[i]])
+}
+
+// Tuple is a decoded view of one tuple inside a frame. Field bytes alias the
+// frame buffer and must not be retained past the frame's lifetime.
+type Tuple struct {
+	fields [][]byte
+}
+
+func decodeTuple(buf []byte) (Tuple, error) {
+	nf, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return Tuple{}, fmt.Errorf("frame: bad tuple field count")
+	}
+	pos := w
+	lens := make([]int, nf)
+	for i := range lens {
+		l, lw := binary.Uvarint(buf[pos:])
+		if lw <= 0 {
+			return Tuple{}, fmt.Errorf("frame: bad field length")
+		}
+		lens[i] = int(l)
+		pos += lw
+	}
+	fields := make([][]byte, nf)
+	for i, l := range lens {
+		if pos+l > len(buf) {
+			return Tuple{}, fmt.Errorf("frame: truncated field %d", i)
+		}
+		fields[i] = buf[pos : pos+l]
+		pos += l
+	}
+	if pos != len(buf) {
+		return Tuple{}, fmt.Errorf("frame: %d trailing bytes in tuple", len(buf)-pos)
+	}
+	return Tuple{fields: fields}, nil
+}
+
+// FieldCount reports the tuple's number of fields.
+func (t Tuple) FieldCount() int { return len(t.fields) }
+
+// FieldBytes returns the raw encoding of field i.
+func (t Tuple) FieldBytes(i int) []byte { return t.fields[i] }
+
+// Fields returns all raw field encodings.
+func (t Tuple) Fields() [][]byte { return t.fields }
+
+// FieldSeq decodes field i into an item sequence.
+func (t Tuple) FieldSeq(i int) (item.Sequence, error) {
+	if i < 0 || i >= len(t.fields) {
+		return nil, fmt.Errorf("frame: field index %d out of range [0,%d)", i, len(t.fields))
+	}
+	return item.DecodeSeq(t.fields[i])
+}
+
+// EncodeFields serializes item sequences into raw field encodings, ready for
+// AppendTuple.
+func EncodeFields(seqs []item.Sequence) [][]byte {
+	out := make([][]byte, len(seqs))
+	for i, s := range seqs {
+		out[i] = item.EncodeSeq(nil, s)
+	}
+	return out
+}
+
+// DecodeFields decodes raw field encodings into item sequences.
+func DecodeFields(fields [][]byte) ([]item.Sequence, error) {
+	out := make([]item.Sequence, len(fields))
+	for i, f := range fields {
+		s, err := item.DecodeSeq(f)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"os"
+	"testing"
+
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+)
+
+func TestFileStructureMatchesListing6(t *testing.T) {
+	cfg := Default()
+	cfg.Files = 2
+	data := cfg.File(0)
+	doc, err := jsonparse.Parse(data)
+	if err != nil {
+		t.Fatalf("generated file does not parse: %v", err)
+	}
+	root := doc.(*item.Object).Value("root")
+	if root == nil {
+		t.Fatal("missing root array")
+	}
+	records := root.(item.Array)
+	if len(records) != cfg.RecordsPerFile {
+		t.Fatalf("records = %d, want %d", len(records), cfg.RecordsPerFile)
+	}
+	for _, rec := range records {
+		o := rec.(*item.Object)
+		md := o.Value("metadata").(*item.Object)
+		count := md.Value("count").(item.Number)
+		results := o.Value("results").(item.Array)
+		if int(count) != cfg.MeasurementsPerArray || len(results) != cfg.MeasurementsPerArray {
+			t.Fatalf("count=%v results=%d want %d", count, len(results), cfg.MeasurementsPerArray)
+		}
+		for _, m := range results {
+			mo := m.(*item.Object)
+			for _, k := range []string{"date", "dataType", "station", "value"} {
+				if mo.Value(k) == nil {
+					t.Fatalf("measurement missing %q: %s", k, item.JSON(mo))
+				}
+			}
+			if _, err := item.ParseDateTime(string(mo.Value("date").(item.String))); err != nil {
+				t.Fatalf("bad date: %v", err)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Default()
+	a := cfg.File(3)
+	b := cfg.File(3)
+	if string(a) != string(b) {
+		t.Error("same seed and index must generate identical bytes")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	if string(a) == string(cfg2.File(3)) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTMINTMAXPairsExist(t *testing.T) {
+	// Q2 needs TMIN and TMAX for the same (station, date).
+	cfg := Default()
+	doc, err := jsonparse.Parse(cfg.File(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ station, date string }
+	seen := map[key]map[string]bool{}
+	path := jsonparse.Path{
+		jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("results"), jsonparse.MembersStep(),
+	}
+	for _, m := range jsonparse.ApplyPath(doc, path) {
+		o := m.(*item.Object)
+		k := key{
+			string(o.Value("station").(item.String)),
+			string(o.Value("date").(item.String)),
+		}
+		if seen[k] == nil {
+			seen[k] = map[string]bool{}
+		}
+		seen[k][string(o.Value("dataType").(item.String))] = true
+	}
+	pairs := 0
+	for _, types := range seen {
+		if types["TMIN"] && types["TMAX"] {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Error("no TMIN/TMAX pairs generated; Q2 would be empty")
+	}
+}
+
+func TestDec25MeasurementsExist(t *testing.T) {
+	cfg := Default()
+	found := false
+	for i := 0; i < cfg.Files && !found; i++ {
+		doc, err := jsonparse.Parse(cfg.File(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := jsonparse.Path{
+			jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+			jsonparse.KeyStep("results"), jsonparse.MembersStep(),
+			jsonparse.KeyStep("date"),
+		}
+		for _, d := range jsonparse.ApplyPath(doc, path) {
+			dt, err := item.ParseDateTime(string(d.(item.String)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dt.Month == 12 && dt.Day == 25 {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("no Dec-25 measurements; Q0 would be empty")
+	}
+}
+
+func TestWriteDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Default()
+	cfg.Files = 3
+	total, err := cfg.WriteDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("files on disk = %d", len(entries))
+	}
+	var sum int64
+	for _, e := range entries {
+		info, _ := e.Info()
+		sum += info.Size()
+	}
+	if sum != total {
+		t.Errorf("reported %d bytes, on disk %d", total, sum)
+	}
+}
+
+func TestInMemory(t *testing.T) {
+	cfg := Default()
+	cfg.Files = 4
+	docs, total, err := cfg.InMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 4 || total <= 0 {
+		t.Fatalf("docs=%d total=%d", len(docs), total)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Files: 1},
+		{Files: 1, RecordsPerFile: 1},
+		{Files: 1, RecordsPerFile: 1, MeasurementsPerArray: 1},
+		{Files: 1, RecordsPerFile: 1, MeasurementsPerArray: 1, Stations: 1, YearMin: 2010, YearMax: 2000},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestScaleToBytes(t *testing.T) {
+	cfg := Default()
+	scaled := cfg.ScaleToBytes(10 * int64(len(cfg.File(0))))
+	if scaled.Files != 10 {
+		t.Errorf("Files = %d, want 10", scaled.Files)
+	}
+	tiny := cfg.ScaleToBytes(1)
+	if tiny.Files != 1 {
+		t.Errorf("minimum must be 1 file, got %d", tiny.Files)
+	}
+}
+
+func TestMeasurementsCount(t *testing.T) {
+	cfg := Config{Files: 2, RecordsPerFile: 3, MeasurementsPerArray: 5, Stations: 1, YearMin: 2000, YearMax: 2001}
+	if got := cfg.Measurements(); got != 30 {
+		t.Errorf("Measurements = %d, want 30", got)
+	}
+}

@@ -1,0 +1,297 @@
+package hyracks
+
+import (
+	"time"
+
+	"fmt"
+
+	"vxq/internal/frame"
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+	"vxq/internal/runtime"
+)
+
+// Env configures a job execution.
+type Env struct {
+	Source     runtime.Source
+	FrameSize  int
+	Accountant *frame.Accountant
+	// Indexes provides zone-map lookups for DATASCAN file pruning (may be
+	// nil).
+	Indexes runtime.IndexLookup
+	// ChannelDepth is the per-channel frame buffer of the pipelined
+	// executor (default 4).
+	ChannelDepth int
+}
+
+func (e *Env) accountant() *frame.Accountant {
+	if e.Accountant == nil {
+		e.Accountant = frame.NewAccountant(0)
+	}
+	return e.Accountant
+}
+
+// TaskTime records the measured wall-clock work of one fragment-partition
+// task. The staged executor produces clean single-threaded measurements that
+// the virtual-time scheduler consumes.
+type TaskTime struct {
+	Fragment  int
+	Partition int
+	Elapsed   time.Duration
+}
+
+// Result is the outcome of a job execution.
+type Result struct {
+	// Rows are the collector's tuples, one []item.Sequence per tuple.
+	Rows [][]item.Sequence
+	// Tasks are the per-fragment-partition work measurements.
+	Tasks []TaskTime
+	// Stats are the merged execution statistics.
+	Stats runtime.Stats
+	// PeakMemory is the accountant's high-water mark in bytes.
+	PeakMemory int64
+}
+
+// SortRows orders the result canonically (for deterministic comparison
+// across executors and partition counts).
+func (r *Result) SortRows() {
+	sortRows(r.Rows)
+}
+
+func sortRows(rows [][]item.Sequence) {
+	less := func(a, b []item.Sequence) bool {
+		n := min(len(a), len(b))
+		for i := 0; i < n; i++ {
+			if c := item.CompareSeq(a[i], b[i]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	}
+	// Insertion-stable sort via sort.Slice equivalent without importing
+	// sort at every call site.
+	quickSortRows(rows, less)
+}
+
+func quickSortRows(rows [][]item.Sequence, less func(a, b []item.Sequence) bool) {
+	if len(rows) < 2 {
+		return
+	}
+	pivot := rows[len(rows)/2]
+	left, right := 0, len(rows)-1
+	for left <= right {
+		for less(rows[left], pivot) {
+			left++
+		}
+		for less(pivot, rows[right]) {
+			right--
+		}
+		if left <= right {
+			rows[left], rows[right] = rows[right], rows[left]
+			left++
+			right--
+		}
+	}
+	quickSortRows(rows[:right+1], less)
+	quickSortRows(rows[left:], less)
+}
+
+// --- task plumbing shared by both executors --------------------------------
+
+// frameDest receives the frames routed to one consumer partition.
+type frameDest interface {
+	send(fr *frame.Frame) error
+}
+
+type destWriter struct{ d frameDest }
+
+func (w destWriter) Open() error                { return nil }
+func (w destWriter) Push(fr *frame.Frame) error { return w.d.send(fr) }
+func (w destWriter) Close() error               { return nil }
+
+// exchangeWriter is the sink side of an exchange: it routes each tuple to a
+// consumer partition according to the exchange kind.
+type exchangeWriter struct {
+	ctx      *TaskCtx
+	exch     *Exchange
+	dests    []frameDest
+	builders []*frameBuilder
+}
+
+func newExchangeWriter(ctx *TaskCtx, exch *Exchange, dests []frameDest) *exchangeWriter {
+	return &exchangeWriter{ctx: ctx, exch: exch, dests: dests}
+}
+
+func (w *exchangeWriter) Open() error {
+	w.builders = make([]*frameBuilder, len(w.dests))
+	for i, d := range w.dests {
+		w.builders[i] = newFrameBuilder(w.ctx, destWriter{d})
+	}
+	return nil
+}
+
+func (w *exchangeWriter) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
+		p, err := w.route(fields)
+		if err != nil {
+			return err
+		}
+		if st := w.ctx.RT.Stats; st != nil {
+			st.TuplesShuffled++
+			st.BytesShuffled += int64(tupleBytes(raw))
+		}
+		return w.builders[p].emit(raw)
+	})
+}
+
+func (w *exchangeWriter) route(fields []item.Sequence) (int, error) {
+	n := len(w.dests)
+	switch w.exch.Kind {
+	case ExchangeMerge:
+		return 0, nil
+	case ExchangeOneToOne:
+		if w.ctx.Partition >= n {
+			return 0, fmt.Errorf("hyracks: 1:1 exchange with mismatched partition counts")
+		}
+		return w.ctx.Partition, nil
+	case ExchangeHash:
+		var h uint64 = 1469598103934665603
+		for _, k := range w.exch.Keys {
+			v, err := k.Eval(w.ctx.RT, fields)
+			if err != nil {
+				return 0, err
+			}
+			h = h*1099511628211 ^ item.HashSeq(v)
+		}
+		return int(h % uint64(n)), nil
+	default:
+		return 0, fmt.Errorf("hyracks: unknown exchange kind %v", w.exch.Kind)
+	}
+}
+
+func (w *exchangeWriter) Close() error {
+	for _, b := range w.builders {
+		if err := b.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSource drives a fragment's source, pushing its tuples through w
+// (already the head of the operator chain).
+func runSource(ctx *TaskCtx, f *Fragment, w Writer, in sourceInput) error {
+	if err := w.Open(); err != nil {
+		return err
+	}
+	if err := feedSource(ctx, f, w, in); err != nil {
+		// Best-effort close after failure; report the original error.
+		_ = w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// sourceInput carries the upstream frames for exchange-fed fragments.
+type sourceInput struct {
+	// recv yields the frames for this partition of the given exchange and
+	// blocks until they are available (pipelined) or returns the buffered
+	// ones (staged). It returns frames via the callback to allow streaming.
+	recv func(exchID int, each func(*frame.Frame) error) error
+}
+
+func feedSource(ctx *TaskCtx, f *Fragment, w Writer, in sourceInput) error {
+	switch s := f.Source.(type) {
+	case ETSSource:
+		fr := frame.New(ctx.frameSize())
+		fr.AppendTuple(nil)
+		return w.Push(fr)
+	case ScanSource:
+		return runScan(ctx, s, f.Partitions, w)
+	case ExchangeSource:
+		return in.recv(s.Exchange, w.Push)
+	case JoinSource:
+		j := newJoiner(ctx, s.Spec)
+		defer j.release()
+		if err := in.recv(s.Build, j.build); err != nil {
+			return err
+		}
+		b := newFrameBuilder(ctx, w)
+		if err := in.recv(s.Probe, func(fr *frame.Frame) error {
+			return j.probe(fr, b)
+		}); err != nil {
+			return err
+		}
+		return b.flush()
+	default:
+		return fmt.Errorf("hyracks: unknown source %T", f.Source)
+	}
+}
+
+// runScan reads this partition's share of the collection's files and emits
+// one single-field tuple per projected item.
+func runScan(ctx *TaskCtx, s ScanSource, partitions int, w Writer) error {
+	if ctx.RT == nil || ctx.RT.Source == nil {
+		return fmt.Errorf("hyracks: scan without a data source")
+	}
+	files, err := ctx.RT.Source.Files(s.Collection)
+	if err != nil {
+		return err
+	}
+	b := newFrameBuilder(ctx, w)
+	for i := ctx.Partition; i < len(files); i += partitions {
+		if s.Filter != nil && ctx.RT.Indexes != nil {
+			if r, ok := ctx.RT.Indexes.FileRange(s.Collection, s.Filter.Path, files[i]); ok {
+				if !s.Filter.Admits(r) {
+					if st := ctx.RT.Stats; st != nil {
+						st.FilesSkipped++
+					}
+					continue
+				}
+			}
+		}
+		raw, err := ctx.RT.Source.ReadFile(files[i])
+		if err != nil {
+			return err
+		}
+		if st := ctx.RT.Stats; st != nil {
+			st.BytesRead += int64(len(raw))
+			st.FilesRead++
+		}
+		emit := func(it item.Item) error {
+			if st := ctx.RT.Stats; st != nil {
+				st.TuplesProduced++
+			}
+			release := ctx.account(item.SizeBytes(it))
+			err := b.emit([][]byte{item.EncodeSeq(nil, item.Single(it))})
+			release()
+			return err
+		}
+		switch s.Format {
+		case FormatADM:
+			// Binary pre-converted document: materialize fully, then apply
+			// the path (no streaming benefit — the AsterixDB behaviour the
+			// paper attributes the performance gap to).
+			doc, used, err := item.Decode(raw)
+			if err != nil {
+				return fmt.Errorf("%s: %w", files[i], err)
+			}
+			if used != len(raw) {
+				return fmt.Errorf("%s: %d trailing bytes in ADM document", files[i], len(raw)-used)
+			}
+			release := ctx.account(item.SizeBytes(doc))
+			for _, it := range jsonparse.ApplyPath(doc, s.Project) {
+				if err := emit(it); err != nil {
+					release()
+					return err
+				}
+			}
+			release()
+		default:
+			if err := jsonparse.Project(raw, s.Project, emit); err != nil {
+				return fmt.Errorf("%s: %w", files[i], err)
+			}
+		}
+	}
+	return b.flush()
+}

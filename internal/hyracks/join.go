@@ -1,0 +1,133 @@
+package hyracks
+
+import (
+	"vxq/internal/frame"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+// JoinSpec describes an equi hash join. The build side is fully consumed
+// into a hash table, then the probe side streams through it. The output
+// tuple is the build tuple's fields followed by the probe tuple's fields.
+// Non-equi residual predicates are applied by a SELECT placed after the
+// join by the compiler.
+type JoinSpec struct {
+	BuildKeys []runtime.Evaluator
+	ProbeKeys []runtime.Evaluator
+	Desc      string
+}
+
+// joiner is the runtime state of a hash join within one partition.
+type joiner struct {
+	ctx    *TaskCtx
+	spec   *JoinSpec
+	table  map[uint64]*joinBucket
+	memory int64
+}
+
+type joinBucket struct {
+	rows []joinRow
+	next *joinBucket
+	key  []item.Sequence
+}
+
+type joinRow struct {
+	raw [][]byte
+}
+
+func newJoiner(ctx *TaskCtx, spec *JoinSpec) *joiner {
+	return &joiner{ctx: ctx, spec: spec, table: make(map[uint64]*joinBucket)}
+}
+
+// build inserts one build-side frame into the hash table.
+func (j *joiner) build(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
+		keys, h, err := j.evalKeys(j.spec.BuildKeys, fields)
+		if err != nil {
+			return err
+		}
+		b := j.lookup(h, keys)
+		if b == nil {
+			b = &joinBucket{key: keys, next: j.table[h]}
+			j.table[h] = b
+		}
+		stored := make([][]byte, len(raw))
+		var sz int64 = 48
+		for i, f := range raw {
+			stored[i] = append([]byte(nil), f...)
+			sz += int64(len(f))
+		}
+		b.rows = append(b.rows, joinRow{raw: stored})
+		j.memory += sz
+		j.ctx.accountHold(sz)
+		return nil
+	})
+}
+
+func (j *joiner) evalKeys(keys []runtime.Evaluator, fields []item.Sequence) ([]item.Sequence, uint64, error) {
+	out := make([]item.Sequence, len(keys))
+	var h uint64 = 1469598103934665603
+	for i, k := range keys {
+		v, err := k.Eval(j.ctx.RT, fields)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[i] = v
+		h = h*1099511628211 ^ item.HashSeq(v)
+	}
+	return out, h, nil
+}
+
+func (j *joiner) lookup(h uint64, keys []item.Sequence) *joinBucket {
+	for b := j.table[h]; b != nil; b = b.next {
+		match := true
+		for i := range keys {
+			if !item.EqualSeq(b.key[i], keys[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return b
+		}
+	}
+	return nil
+}
+
+// probe streams one probe-side frame against the table, emitting joined
+// tuples through b.
+func (j *joiner) probe(fr *frame.Frame, b *frameBuilder) error {
+	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
+		keys, h, err := j.evalKeys(j.spec.ProbeKeys, fields)
+		if err != nil {
+			return err
+		}
+		bucket := j.lookup(h, keys)
+		if bucket == nil {
+			return nil
+		}
+		// An empty join key (empty sequence) never matches anything, per
+		// comparison semantics: eq with an empty operand is empty/false.
+		for _, k := range keys {
+			if len(k) == 0 {
+				return nil
+			}
+		}
+		for _, row := range bucket.rows {
+			outFields := append([][]byte(nil), row.raw...)
+			outFields = append(outFields, raw...)
+			if err := b.emit(outFields); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// release frees the accounted build-table memory.
+func (j *joiner) release() {
+	if j.ctx.RT != nil && j.ctx.RT.Accountant != nil {
+		j.ctx.RT.Accountant.Release(j.memory)
+	}
+	j.memory = 0
+}

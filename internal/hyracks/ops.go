@@ -1,0 +1,634 @@
+package hyracks
+
+import (
+	"sort"
+
+	"fmt"
+
+	"vxq/internal/frame"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+// OpSpec describes one physical operator of a fragment chain. Build
+// instantiates the operator's per-partition runtime as a Writer that pushes
+// its output to out.
+type OpSpec interface {
+	Name() string
+	Build(ctx *TaskCtx, out Writer) Writer
+}
+
+// --- ASSIGN ---------------------------------------------------------------
+
+// AssignSpec evaluates scalar expressions over each input tuple and appends
+// the results as new fields (the Hyracks ASSIGN operator of §3.2).
+// A non-nil OutCols projects the output tuple (a fused PROJECT), so dead
+// fields are dropped before they are copied downstream.
+type AssignSpec struct {
+	Evals   []runtime.Evaluator
+	OutCols []int
+	Desc    string
+}
+
+// Name implements OpSpec.
+func (s *AssignSpec) Name() string { return "ASSIGN " + s.Desc }
+
+// Build implements OpSpec.
+func (s *AssignSpec) Build(ctx *TaskCtx, out Writer) Writer {
+	return &assignOp{ctx: ctx, spec: s, out: out}
+}
+
+type assignOp struct {
+	ctx  *TaskCtx
+	spec *AssignSpec
+	out  Writer
+	b    *frameBuilder
+}
+
+func (o *assignOp) Open() error {
+	o.b = newFrameBuilder(o.ctx, o.out)
+	return o.out.Open()
+}
+
+func (o *assignOp) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
+		outFields := append([][]byte(nil), raw...)
+		for _, ev := range o.spec.Evals {
+			v, err := ev.Eval(o.ctx.RT, fields)
+			if err != nil {
+				return err
+			}
+			fields = append(fields, v)
+			outFields = append(outFields, item.EncodeSeq(nil, v))
+		}
+		outFields, err := applyOutCols(outFields, o.spec.OutCols)
+		if err != nil {
+			return err
+		}
+		return o.b.emit(outFields)
+	})
+}
+
+func (o *assignOp) Close() error {
+	if err := o.b.flush(); err != nil {
+		return err
+	}
+	return o.out.Close()
+}
+
+// --- SELECT ---------------------------------------------------------------
+
+// SelectSpec filters tuples by the effective boolean value of a condition.
+// A non-nil OutCols projects the surviving tuples (a fused PROJECT).
+type SelectSpec struct {
+	Cond    runtime.Evaluator
+	OutCols []int
+	Desc    string
+}
+
+// Name implements OpSpec.
+func (s *SelectSpec) Name() string { return "SELECT " + s.Desc }
+
+// Build implements OpSpec.
+func (s *SelectSpec) Build(ctx *TaskCtx, out Writer) Writer {
+	return &selectOp{ctx: ctx, spec: s, out: out}
+}
+
+type selectOp struct {
+	ctx  *TaskCtx
+	spec *SelectSpec
+	out  Writer
+	b    *frameBuilder
+}
+
+func (o *selectOp) Open() error {
+	o.b = newFrameBuilder(o.ctx, o.out)
+	return o.out.Open()
+}
+
+func (o *selectOp) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
+		v, err := o.spec.Cond.Eval(o.ctx.RT, fields)
+		if err != nil {
+			return err
+		}
+		if !item.EffectiveBoolean(v) {
+			return nil
+		}
+		out, err := applyOutCols(raw, o.spec.OutCols)
+		if err != nil {
+			return err
+		}
+		return o.b.emit(out)
+	})
+}
+
+func (o *selectOp) Close() error {
+	if err := o.b.flush(); err != nil {
+		return err
+	}
+	return o.out.Close()
+}
+
+// --- UNNEST ---------------------------------------------------------------
+
+// UnnestSpec evaluates an unnesting expression per input tuple and emits one
+// output tuple per item of the result, appending the item as a new field.
+// A non-nil OutCols projects each output tuple (a fused PROJECT): crucial
+// for not copying a large unnested field into every emitted tuple.
+type UnnestSpec struct {
+	Expr    runtime.Evaluator
+	OutCols []int
+	Desc    string
+}
+
+// Name implements OpSpec.
+func (s *UnnestSpec) Name() string { return "UNNEST " + s.Desc }
+
+// Build implements OpSpec.
+func (s *UnnestSpec) Build(ctx *TaskCtx, out Writer) Writer {
+	return &unnestOp{ctx: ctx, spec: s, out: out}
+}
+
+type unnestOp struct {
+	ctx  *TaskCtx
+	spec *UnnestSpec
+	out  Writer
+	b    *frameBuilder
+}
+
+func (o *unnestOp) Open() error {
+	o.b = newFrameBuilder(o.ctx, o.out)
+	return o.out.Open()
+}
+
+func (o *unnestOp) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
+		v, err := o.spec.Expr.Eval(o.ctx.RT, fields)
+		if err != nil {
+			return err
+		}
+		for _, it := range v {
+			outFields := append([][]byte(nil), raw...)
+			outFields = append(outFields, item.EncodeSeq(nil, item.Single(it)))
+			outFields, err := applyOutCols(outFields, o.spec.OutCols)
+			if err != nil {
+				return err
+			}
+			if err := o.b.emit(outFields); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (o *unnestOp) Close() error {
+	if err := o.b.flush(); err != nil {
+		return err
+	}
+	return o.out.Close()
+}
+
+// applyOutCols projects raw fields to the given columns; a nil cols is the
+// identity.
+func applyOutCols(raw [][]byte, cols []int) ([][]byte, error) {
+	if cols == nil {
+		return raw, nil
+	}
+	out := make([][]byte, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(raw) {
+			return nil, fmt.Errorf("hyracks: fused project column %d out of range [0,%d)", c, len(raw))
+		}
+		out[i] = raw[c]
+	}
+	return out, nil
+}
+
+// --- PROJECT --------------------------------------------------------------
+
+// ProjectSpec keeps only the listed columns, in order.
+type ProjectSpec struct {
+	Cols []int
+}
+
+// Name implements OpSpec.
+func (s *ProjectSpec) Name() string { return fmt.Sprintf("PROJECT %v", s.Cols) }
+
+// Build implements OpSpec.
+func (s *ProjectSpec) Build(ctx *TaskCtx, out Writer) Writer {
+	return &projectOp{ctx: ctx, spec: s, out: out}
+}
+
+type projectOp struct {
+	ctx  *TaskCtx
+	spec *ProjectSpec
+	out  Writer
+	b    *frameBuilder
+}
+
+func (o *projectOp) Open() error {
+	o.b = newFrameBuilder(o.ctx, o.out)
+	return o.out.Open()
+}
+
+func (o *projectOp) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(_ []item.Sequence, raw [][]byte) error {
+		outFields := make([][]byte, len(o.spec.Cols))
+		for i, c := range o.spec.Cols {
+			if c < 0 || c >= len(raw) {
+				return fmt.Errorf("hyracks: project column %d out of range [0,%d)", c, len(raw))
+			}
+			outFields[i] = raw[c]
+		}
+		return o.b.emit(outFields)
+	})
+}
+
+func (o *projectOp) Close() error {
+	if err := o.b.flush(); err != nil {
+		return err
+	}
+	return o.out.Close()
+}
+
+// --- AGGREGATE ------------------------------------------------------------
+
+// AggDef is one aggregate computation: an aggregate function applied to an
+// argument expression.
+type AggDef struct {
+	Fn  *runtime.AggFunc
+	Arg runtime.Evaluator
+}
+
+// AggregateSpec folds the whole input into a single output tuple holding one
+// field per aggregate (the Hyracks AGGREGATE operator of §3.2).
+type AggregateSpec struct {
+	Aggs []AggDef
+	Desc string
+}
+
+// Name implements OpSpec.
+func (s *AggregateSpec) Name() string { return "AGGREGATE " + s.Desc }
+
+// Build implements OpSpec.
+func (s *AggregateSpec) Build(ctx *TaskCtx, out Writer) Writer {
+	return &aggregateOp{ctx: ctx, spec: s, out: out}
+}
+
+type aggregateOp struct {
+	ctx    *TaskCtx
+	spec   *AggregateSpec
+	out    Writer
+	states []runtime.AggState
+}
+
+func (o *aggregateOp) Open() error {
+	o.states = make([]runtime.AggState, len(o.spec.Aggs))
+	for i, a := range o.spec.Aggs {
+		o.states[i] = a.Fn.New()
+	}
+	return o.out.Open()
+}
+
+func (o *aggregateOp) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, _ [][]byte) error {
+		for i, a := range o.spec.Aggs {
+			v, err := a.Arg.Eval(o.ctx.RT, fields)
+			if err != nil {
+				return err
+			}
+			if err := o.states[i].Step(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (o *aggregateOp) Close() error {
+	b := newFrameBuilder(o.ctx, o.out)
+	outFields := make([][]byte, len(o.states))
+	for i, st := range o.states {
+		v, err := st.Finish()
+		if err != nil {
+			return err
+		}
+		outFields[i] = item.EncodeSeq(nil, v)
+	}
+	if err := b.emit(outFields); err != nil {
+		return err
+	}
+	if err := b.flush(); err != nil {
+		return err
+	}
+	return o.out.Close()
+}
+
+// --- GROUP-BY -------------------------------------------------------------
+
+// GroupBySpec is the hash-based GROUP-BY operator: tuples are grouped by the
+// key expressions; each group runs the aggregate definitions; at close one
+// tuple per group is emitted carrying the key fields then the aggregate
+// fields.
+type GroupBySpec struct {
+	Keys []runtime.Evaluator
+	Aggs []AggDef
+	Desc string
+}
+
+// Name implements OpSpec.
+func (s *GroupBySpec) Name() string { return "GROUP-BY " + s.Desc }
+
+// Build implements OpSpec.
+func (s *GroupBySpec) Build(ctx *TaskCtx, out Writer) Writer {
+	return &groupByOp{ctx: ctx, spec: s, out: out}
+}
+
+type group struct {
+	keyFields [][]byte
+	keySeqs   []item.Sequence
+	states    []runtime.AggState
+	next      *group // hash-chain for collision handling
+}
+
+type groupByOp struct {
+	ctx    *TaskCtx
+	spec   *GroupBySpec
+	out    Writer
+	table  map[uint64]*group
+	order  []*group // insertion order for deterministic output
+	memory int64
+}
+
+func (o *groupByOp) Open() error {
+	o.table = make(map[uint64]*group)
+	return o.out.Open()
+}
+
+func (o *groupByOp) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, _ [][]byte) error {
+		keySeqs := make([]item.Sequence, len(o.spec.Keys))
+		var h uint64 = 1469598103934665603
+		for i, k := range o.spec.Keys {
+			v, err := k.Eval(o.ctx.RT, fields)
+			if err != nil {
+				return err
+			}
+			keySeqs[i] = v
+			h = h*1099511628211 ^ item.HashSeq(v)
+		}
+		g := o.lookup(h, keySeqs)
+		if g == nil {
+			g = &group{keySeqs: keySeqs, states: make([]runtime.AggState, len(o.spec.Aggs))}
+			g.keyFields = frame.EncodeFields(keySeqs)
+			for i, a := range o.spec.Aggs {
+				g.states[i] = a.Fn.New()
+			}
+			g.next = o.table[h]
+			o.table[h] = g
+			o.order = append(o.order, g)
+			var sz int64 = 64
+			for _, kf := range g.keyFields {
+				sz += int64(len(kf))
+			}
+			o.memory += sz
+			o.ctx.accountHold(sz) // charged until close; released in Close
+		}
+		for i, a := range o.spec.Aggs {
+			v, err := a.Arg.Eval(o.ctx.RT, fields)
+			if err != nil {
+				return err
+			}
+			before := g.states[i].Size()
+			if err := g.states[i].Step(v); err != nil {
+				return err
+			}
+			if grew := g.states[i].Size() - before; grew > 0 {
+				o.memory += grew
+				o.ctx.accountHold(grew)
+			}
+		}
+		return nil
+	})
+}
+
+func (o *groupByOp) lookup(h uint64, keySeqs []item.Sequence) *group {
+	for g := o.table[h]; g != nil; g = g.next {
+		match := true
+		for i := range keySeqs {
+			if !item.EqualSeq(g.keySeqs[i], keySeqs[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return g
+		}
+	}
+	return nil
+}
+
+func (o *groupByOp) Close() error {
+	defer func() {
+		if o.ctx.RT != nil && o.ctx.RT.Accountant != nil {
+			o.ctx.RT.Accountant.Release(o.memory)
+		}
+		o.memory = 0
+	}()
+	b := newFrameBuilder(o.ctx, o.out)
+	for _, g := range o.order {
+		outFields := append([][]byte(nil), g.keyFields...)
+		for _, st := range g.states {
+			v, err := st.Finish()
+			if err != nil {
+				return err
+			}
+			outFields = append(outFields, item.EncodeSeq(nil, v))
+		}
+		if err := b.emit(outFields); err != nil {
+			return err
+		}
+	}
+	if err := b.flush(); err != nil {
+		return err
+	}
+	return o.out.Close()
+}
+
+// accountGroupBy charges bytes without pairing the release (the groupByOp
+// releases its total at close).
+func (c *TaskCtx) accountHold(n int64) {
+	if c.RT != nil && c.RT.Accountant != nil && n != 0 {
+		c.RT.Accountant.Allocate(n)
+	}
+}
+
+// --- SUBPLAN --------------------------------------------------------------
+
+// SubplanSpec runs a nested operator chain once per input tuple (the Hyracks
+// SUBPLAN of §3.2: an AGGREGATE over an UNNEST). The nested chain sees the
+// single input tuple as its whole input and must end in exactly one output
+// tuple (the nested AGGREGATE result); that tuple's fields are appended to
+// the input tuple.
+type SubplanSpec struct {
+	Nested []OpSpec
+	Desc   string
+}
+
+// Name implements OpSpec.
+func (s *SubplanSpec) Name() string { return "SUBPLAN " + s.Desc }
+
+// Build implements OpSpec.
+func (s *SubplanSpec) Build(ctx *TaskCtx, out Writer) Writer {
+	return &subplanOp{ctx: ctx, spec: s, out: out}
+}
+
+type subplanOp struct {
+	ctx  *TaskCtx
+	spec *SubplanSpec
+	out  Writer
+	b    *frameBuilder
+}
+
+func (o *subplanOp) Open() error {
+	o.b = newFrameBuilder(o.ctx, o.out)
+	return o.out.Open()
+}
+
+func (o *subplanOp) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(_ []item.Sequence, raw [][]byte) error {
+		sink := &CollectSink{}
+		w := BuildChain(o.ctx, o.spec.Nested, sink)
+		if err := w.Open(); err != nil {
+			return err
+		}
+		inner := frame.New(o.ctx.frameSize())
+		inner.AppendTuple(raw)
+		if err := w.Push(inner); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		if len(sink.Rows) != 1 {
+			return fmt.Errorf("hyracks: subplan produced %d tuples, want 1", len(sink.Rows))
+		}
+		outFields := append([][]byte(nil), raw...)
+		outFields = append(outFields, frame.EncodeFields(sink.Rows[0])...)
+		return o.b.emit(outFields)
+	})
+}
+
+func (o *subplanOp) Close() error {
+	if err := o.b.flush(); err != nil {
+		return err
+	}
+	return o.out.Close()
+}
+
+// BuildChain composes a chain of operator specs into a single Writer whose
+// final output goes to terminal. specs[0] is the first operator the input
+// flows through.
+func BuildChain(ctx *TaskCtx, specs []OpSpec, terminal Writer) Writer {
+	w := terminal
+	for i := len(specs) - 1; i >= 0; i-- {
+		w = specs[i].Build(ctx, w)
+	}
+	return w
+}
+
+// --- SORT -------------------------------------------------------------------
+
+// SortDef is one sort key: an evaluator plus direction.
+type SortDef struct {
+	Key  runtime.Evaluator
+	Desc bool
+}
+
+// SortSpec materializes its whole input, orders it by the sort keys (stable,
+// so ties keep arrival order), and emits the sorted tuples at close. It
+// implements the XQuery order-by clause.
+type SortSpec struct {
+	Keys []SortDef
+	Desc string
+}
+
+// Name implements OpSpec.
+func (s *SortSpec) Name() string { return "ORDER-BY " + s.Desc }
+
+// Build implements OpSpec.
+func (s *SortSpec) Build(ctx *TaskCtx, out Writer) Writer {
+	return &sortOp{ctx: ctx, spec: s, out: out}
+}
+
+type sortRow struct {
+	keys []item.Sequence
+	raw  [][]byte
+}
+
+type sortOp struct {
+	ctx    *TaskCtx
+	spec   *SortSpec
+	out    Writer
+	rows   []sortRow
+	memory int64
+}
+
+func (o *sortOp) Open() error { return o.out.Open() }
+
+func (o *sortOp) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
+		keys := make([]item.Sequence, len(o.spec.Keys))
+		for i, k := range o.spec.Keys {
+			v, err := k.Key.Eval(o.ctx.RT, fields)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		stored := make([][]byte, len(raw))
+		var sz int64 = 48
+		for i, f := range raw {
+			stored[i] = append([]byte(nil), f...)
+			sz += int64(len(f))
+		}
+		o.rows = append(o.rows, sortRow{keys: keys, raw: stored})
+		o.memory += sz
+		o.ctx.accountHold(sz)
+		return nil
+	})
+}
+
+func (o *sortOp) Close() error {
+	defer func() {
+		if o.ctx.RT != nil && o.ctx.RT.Accountant != nil {
+			o.ctx.RT.Accountant.Release(o.memory)
+		}
+		o.memory = 0
+	}()
+	sort.SliceStable(o.rows, func(i, j int) bool {
+		for k := range o.spec.Keys {
+			c := item.CompareSeq(o.rows[i].keys[k], o.rows[j].keys[k])
+			if o.spec.Keys[k].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	b := newFrameBuilder(o.ctx, o.out)
+	for _, r := range o.rows {
+		if err := b.emit(r.raw); err != nil {
+			return err
+		}
+	}
+	o.rows = nil
+	if err := b.flush(); err != nil {
+		return err
+	}
+	return o.out.Close()
+}

@@ -1,0 +1,188 @@
+package hyracks
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vxq/internal/frame"
+	"vxq/internal/runtime"
+)
+
+// RunPipelined executes a job with one goroutine per fragment-partition
+// task; exchanges are buffered channels, so producers and consumers overlap
+// like Hyracks' pipelined connectors. Task timings include blocking time
+// and are therefore not used for virtual-time scheduling (use RunStaged's).
+func RunPipelined(job *Job, env *Env) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	acct := env.accountant()
+	depth := env.ChannelDepth
+	if depth <= 0 {
+		depth = 4
+	}
+
+	type exchChans struct {
+		chans     []chan *frame.Frame
+		producers sync.WaitGroup
+	}
+	chans := make(map[int]*exchChans, len(job.Exchanges))
+	for _, e := range job.Exchanges {
+		ec := &exchChans{chans: make([]chan *frame.Frame, e.ConsumerPartitions)}
+		for i := range ec.chans {
+			ec.chans[i] = make(chan *frame.Frame, depth)
+		}
+		chans[e.ID] = ec
+	}
+	// Register producers before any task starts.
+	for _, f := range job.Fragments {
+		if f.SinkExchange >= 0 {
+			chans[f.SinkExchange].producers.Add(f.Partitions)
+		}
+	}
+	// Close an exchange's channels once all its producers finished.
+	for _, e := range job.Exchanges {
+		ec := chans[e.ID]
+		go func() {
+			ec.producers.Wait()
+			for _, c := range ec.chans {
+				close(c)
+			}
+		}()
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		stop      = make(chan struct{})
+		stopOnce  sync.Once
+		collector = &CollectSink{}
+		colMu     sync.Mutex
+		wg        sync.WaitGroup
+		res       = &Result{}
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	for _, f := range job.Fragments {
+		for p := 0; p < f.Partitions; p++ {
+			f, p := f, p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rt := &runtime.Ctx{
+					Source:     env.Source,
+					Accountant: acct,
+					Stats:      &runtime.Stats{},
+					FrameSize:  env.FrameSize,
+					Indexes:    env.Indexes,
+				}
+				ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize}
+				var terminal Writer
+				if f.SinkExchange >= 0 {
+					e := job.exchange(f.SinkExchange)
+					ec := chans[e.ID]
+					dests := make([]frameDest, e.ConsumerPartitions)
+					for i := range dests {
+						dests[i] = &chanDest{c: ec.chans[i], stop: stop}
+					}
+					terminal = &producerCloser{
+						Writer: newExchangeWriter(ctx, e, dests),
+						done:   func() { ec.producers.Done() },
+					}
+				} else {
+					terminal = &lockedSink{sink: collector, mu: &colMu}
+				}
+				chain := BuildChain(ctx, f.Ops, terminal)
+				in := sourceInput{recv: func(exchID int, each func(*frame.Frame) error) error {
+					ec, ok := chans[exchID]
+					if !ok {
+						return fmt.Errorf("hyracks: unknown exchange %d", exchID)
+					}
+					for {
+						select {
+						case fr, open := <-ec.chans[p]:
+							if !open {
+								return nil
+							}
+							if err := each(fr); err != nil {
+								return err
+							}
+						case <-stop:
+							return errStopped
+						}
+					}
+				}}
+				start := time.Now()
+				err := runSource(ctx, f, chain, in)
+				elapsed := time.Since(start)
+				mu.Lock()
+				res.Tasks = append(res.Tasks, TaskTime{Fragment: f.ID, Partition: p, Elapsed: elapsed})
+				res.Stats.Add(rt.Stats)
+				mu.Unlock()
+				if err != nil && err != errStopped {
+					fail(err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Rows = collector.Rows
+	res.PeakMemory = acct.Peak()
+	return res, nil
+}
+
+var errStopped = fmt.Errorf("hyracks: execution aborted")
+
+type chanDest struct {
+	c    chan *frame.Frame
+	stop chan struct{}
+}
+
+func (d *chanDest) send(fr *frame.Frame) error {
+	select {
+	case d.c <- fr:
+		return nil
+	case <-d.stop:
+		return errStopped
+	}
+}
+
+// producerCloser signals producer completion on an exchange exactly once,
+// whether the task closes normally or is torn down after a failure.
+type producerCloser struct {
+	Writer
+	done func()
+	once sync.Once
+}
+
+func (p *producerCloser) Close() error {
+	err := p.Writer.Close()
+	p.once.Do(p.done)
+	return err
+}
+
+// lockedSink serializes concurrent pushes from multiple collector-partition
+// tasks.
+type lockedSink struct {
+	sink *CollectSink
+	mu   *sync.Mutex
+}
+
+func (s *lockedSink) Open() error { return nil }
+func (s *lockedSink) Push(fr *frame.Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sink.Push(fr)
+}
+func (s *lockedSink) Close() error { return nil }

@@ -1,0 +1,90 @@
+package hyracks
+
+import (
+	"time"
+
+	"vxq/internal/frame"
+	"vxq/internal/runtime"
+)
+
+// RunStaged executes a job sequentially, one fragment-partition task at a
+// time, materializing every exchange. Results are identical to the
+// pipelined executor; in addition each task's single-threaded wall-clock
+// work is measured cleanly (no scheduler interference), which is what the
+// virtual-time cluster scheduler consumes.
+func RunStaged(job *Job, env *Env) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	acct := env.accountant()
+	// exchange buffers: exchange id -> consumer partition -> frames.
+	buffers := make(map[int][][]*frame.Frame)
+	for _, e := range job.Exchanges {
+		buffers[e.ID] = make([][]*frame.Frame, e.ConsumerPartitions)
+	}
+	res := &Result{}
+	collector := &CollectSink{}
+	for _, f := range job.Fragments {
+		for p := 0; p < f.Partitions; p++ {
+			rt := &runtime.Ctx{
+				Source:     env.Source,
+				Accountant: acct,
+				Stats:      &runtime.Stats{},
+				FrameSize:  env.FrameSize,
+				Indexes:    env.Indexes,
+			}
+			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize}
+			var terminal Writer
+			if f.SinkExchange >= 0 {
+				e := job.exchange(f.SinkExchange)
+				dests := make([]frameDest, e.ConsumerPartitions)
+				for i := range dests {
+					dests[i] = &bufferDest{buf: buffers, exch: e.ID, part: i}
+				}
+				terminal = newExchangeWriter(ctx, e, dests)
+			} else {
+				terminal = collector
+			}
+			chain := BuildChain(ctx, f.Ops, terminal)
+			in := sourceInput{recv: func(exchID int, each func(*frame.Frame) error) error {
+				for _, fr := range buffers[exchID][p] {
+					if err := each(fr); err != nil {
+						return err
+					}
+				}
+				return nil
+			}}
+			start := time.Now()
+			err := runSource(ctx, f, chain, in)
+			elapsed := time.Since(start)
+			res.Tasks = append(res.Tasks, TaskTime{Fragment: f.ID, Partition: p, Elapsed: elapsed})
+			res.Stats.Add(rt.Stats)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Inputs of this fragment are no longer needed; drop them so large
+		// staged runs do not accumulate every intermediate.
+		switch s := f.Source.(type) {
+		case ExchangeSource:
+			delete(buffers, s.Exchange)
+		case JoinSource:
+			delete(buffers, s.Build)
+			delete(buffers, s.Probe)
+		}
+	}
+	res.Rows = collector.Rows
+	res.PeakMemory = acct.Peak()
+	return res, nil
+}
+
+type bufferDest struct {
+	buf  map[int][][]*frame.Frame
+	exch int
+	part int
+}
+
+func (d *bufferDest) send(fr *frame.Frame) error {
+	d.buf[d.exch][d.part] = append(d.buf[d.exch][d.part], fr)
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package hyracks implements the dataflow execution engine underneath the
+// query processor, modeled on the Hyracks platform (Borkar et al., ICDE
+// 2011) that Apache VXQuery runs on: push-based physical operators exchange
+// fixed-size frames of serialized tuples; jobs are DAGs of operator chains
+// ("fragments") connected by exchange connectors; each fragment runs in a
+// number of partitions.
+//
+// Two executors are provided. The pipelined executor runs every
+// fragment-partition as a goroutine connected by channels, like Hyracks'
+// pipelined connectors. The staged executor runs partitions sequentially
+// with materialized exchanges and records per-partition wall-clock work;
+// the cluster experiments feed those measurements into the virtual-time
+// scheduler (internal/simsched) to model multi-core/multi-node schedules on
+// machines that do not physically have them.
+package hyracks
+
+import (
+	"fmt"
+
+	"vxq/internal/frame"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+// Writer is the push-based operator interface (Hyracks' IFrameWriter):
+// Open once, Push any number of frames, Close once. Any error aborts the
+// task.
+type Writer interface {
+	Open() error
+	Push(fr *frame.Frame) error
+	Close() error
+}
+
+// TaskCtx is the per-partition execution context.
+type TaskCtx struct {
+	RT        *runtime.Ctx
+	Partition int
+	FrameSize int
+}
+
+func (c *TaskCtx) frameSize() int {
+	if c.FrameSize > 0 {
+		return c.FrameSize
+	}
+	if c.RT != nil && c.RT.FrameSize > 0 {
+		return c.RT.FrameSize
+	}
+	return frame.DefaultFrameSize
+}
+
+// account charges n bytes to the accountant while f runs.
+func (c *TaskCtx) account(n int64) func() {
+	if c.RT == nil || c.RT.Accountant == nil || n == 0 {
+		return func() {}
+	}
+	c.RT.Accountant.Allocate(n)
+	return func() { c.RT.Accountant.Release(n) }
+}
+
+// frameBuilder accumulates output tuples into frames and pushes full frames
+// downstream. It is the standard tail of every operator implementation.
+type frameBuilder struct {
+	ctx *TaskCtx
+	out Writer
+	fr  *frame.Frame
+}
+
+func newFrameBuilder(ctx *TaskCtx, out Writer) *frameBuilder {
+	return &frameBuilder{ctx: ctx, out: out, fr: frame.New(ctx.frameSize())}
+}
+
+func (b *frameBuilder) emit(fields [][]byte) error {
+	if b.fr.AppendTuple(fields) {
+		if b.fr.Oversize() {
+			// An oversized tuple occupies its own frame; ship it at once.
+			return b.flush()
+		}
+		return nil
+	}
+	if err := b.flush(); err != nil {
+		return err
+	}
+	if !b.fr.AppendTuple(fields) {
+		return fmt.Errorf("hyracks: tuple of %d bytes could not be framed", tupleBytes(fields))
+	}
+	if b.fr.Oversize() {
+		return b.flush()
+	}
+	return nil
+}
+
+func tupleBytes(fields [][]byte) int {
+	n := 0
+	for _, f := range fields {
+		n += len(f)
+	}
+	return n
+}
+
+func (b *frameBuilder) emitSeqs(seqs []item.Sequence) error {
+	return b.emit(frame.EncodeFields(seqs))
+}
+
+func (b *frameBuilder) flush() error {
+	if b.fr.TupleCount() == 0 {
+		return nil
+	}
+	release := b.ctx.account(int64(b.fr.Size()))
+	err := b.out.Push(b.fr)
+	release()
+	b.fr = frame.New(b.ctx.frameSize())
+	return err
+}
+
+// forEachTuple decodes every tuple of a frame and calls f with its fields.
+func forEachTuple(fr *frame.Frame, f func(fields []item.Sequence, raw [][]byte) error) error {
+	for i := 0; i < fr.TupleCount(); i++ {
+		tu, err := fr.Tuple(i)
+		if err != nil {
+			return err
+		}
+		seqs, err := frame.DecodeFields(tu.Fields())
+		if err != nil {
+			return err
+		}
+		if err := f(seqs, tu.Fields()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectSink is a terminal Writer that materializes every received tuple
+// as decoded field sequences. It is used as the job's result collector and
+// inside nested-plan (subplan) execution.
+type CollectSink struct {
+	Rows [][]item.Sequence
+}
+
+// Open implements Writer.
+func (s *CollectSink) Open() error { return nil }
+
+// Push decodes and stores all tuples of the frame.
+func (s *CollectSink) Push(fr *frame.Frame) error {
+	return forEachTuple(fr, func(fields []item.Sequence, _ [][]byte) error {
+		s.Rows = append(s.Rows, fields)
+		return nil
+	})
+}
+
+// Close implements Writer.
+func (s *CollectSink) Close() error { return nil }

@@ -1,0 +1,130 @@
+// Package index implements the paper's future-work direction (§6: "We are
+// currently working on supporting indexing ... indexing will further
+// improve the system's performance since the searched data volume will be
+// significantly reduced").
+//
+// The index is a per-file zone map: for a collection and a projection path
+// it records the minimum and maximum scalar value each file contains at
+// that path. When a query's selection bounds the indexed path, the DATASCAN
+// skips files whose [min,max] range cannot overlap the predicate — the
+// searched data volume shrinks without touching query semantics (the
+// SELECT operator still verifies every surviving tuple).
+//
+// Zone maps are built with one streaming pass over the collection and must
+// be rebuilt when the underlying files change.
+package index
+
+import (
+	"fmt"
+	"sync"
+
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+	"vxq/internal/runtime"
+)
+
+// FileStats is the zone-map entry of one file.
+type FileStats struct {
+	// Min and Max bound the values found at the indexed path (nil when the
+	// file has none).
+	Min, Max item.Item
+	// Count is the number of values found.
+	Count int64
+}
+
+// ZoneMap is a per-file min/max index of one (collection, path).
+type ZoneMap struct {
+	Collection string
+	Path       jsonparse.Path
+	Files      map[string]FileStats
+}
+
+// Build scans every file of the collection once and records the per-file
+// min/max of the items the path yields. Non-scalar items (objects, arrays)
+// are rejected: zone maps index scalar paths.
+func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap, error) {
+	files, err := src.Files(collection)
+	if err != nil {
+		return nil, err
+	}
+	zm := &ZoneMap{
+		Collection: collection,
+		Path:       append(jsonparse.Path(nil), path...),
+		Files:      make(map[string]FileStats, len(files)),
+	}
+	for _, f := range files {
+		raw, err := src.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var st FileStats
+		err = jsonparse.Project(raw, path, func(it item.Item) error {
+			switch it.Kind() {
+			case item.KindObject, item.KindArray:
+				return fmt.Errorf("index: path %s yields a %s in %s; zone maps index scalar paths",
+					path, it.Kind(), f)
+			}
+			if st.Count == 0 {
+				st.Min, st.Max = it, it
+			} else {
+				if item.Compare(it, st.Min) < 0 {
+					st.Min = it
+				}
+				if item.Compare(it, st.Max) > 0 {
+					st.Max = it
+				}
+			}
+			st.Count++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		zm.Files[f] = st
+	}
+	return zm, nil
+}
+
+// Registry holds the zone maps of an engine, keyed by collection and path.
+// It implements runtime.IndexLookup. Safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	maps map[string]*ZoneMap
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{maps: map[string]*ZoneMap{}} }
+
+func key(collection string, path jsonparse.Path) string {
+	return collection + "\x00" + path.String()
+}
+
+// Add registers (or replaces) a zone map.
+func (r *Registry) Add(zm *ZoneMap) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maps[key(zm.Collection, zm.Path)] = zm
+}
+
+// FileRange implements runtime.IndexLookup: it reports the indexed value
+// range of one file, if a matching zone map exists.
+func (r *Registry) FileRange(collection string, path jsonparse.Path, file string) (runtime.FileRange, bool) {
+	r.mu.RLock()
+	zm, ok := r.maps[key(collection, path)]
+	r.mu.RUnlock()
+	if !ok {
+		return runtime.FileRange{}, false
+	}
+	st, ok := zm.Files[file]
+	if !ok {
+		return runtime.FileRange{}, false
+	}
+	return runtime.FileRange{Min: st.Min, Max: st.Max, Count: st.Count}, true
+}
+
+// Len reports the number of registered zone maps.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.maps)
+}

@@ -1,0 +1,129 @@
+package index
+
+import (
+	"testing"
+
+	"vxq/internal/gen"
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+	"vxq/internal/runtime"
+)
+
+func datePath() jsonparse.Path {
+	return jsonparse.Path{
+		jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("results"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("date"),
+	}
+}
+
+func yearPartitionedSource(t *testing.T, files int) runtime.Source {
+	t.Helper()
+	cfg := gen.Default()
+	cfg.Files = files
+	cfg.RecordsPerFile = 4
+	cfg.MeasurementsPerArray = 10
+	cfg.PartitionByYear = true
+	docs, _, err := cfg.InMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runtime.MemSource{Collections: map[string]map[string][]byte{"/sensors": docs}}
+}
+
+func TestBuildZoneMap(t *testing.T) {
+	src := yearPartitionedSource(t, 6)
+	zm, err := Build(src, "/sensors", datePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zm.Files) != 6 {
+		t.Fatalf("files = %d", len(zm.Files))
+	}
+	for f, st := range zm.Files {
+		if st.Count != 4*10 {
+			t.Errorf("%s: count = %d, want 40", f, st.Count)
+		}
+		if st.Min == nil || st.Max == nil {
+			t.Fatalf("%s: missing bounds", f)
+		}
+		if item.Compare(st.Min, st.Max) > 0 {
+			t.Errorf("%s: min > max", f)
+		}
+		// Year-partitioned: min and max share the file's year.
+		minY := string(st.Min.(item.String))[:4]
+		maxY := string(st.Max.(item.String))[:4]
+		if minY != maxY {
+			t.Errorf("%s: year range %s..%s, want single year", f, minY, maxY)
+		}
+	}
+}
+
+func TestBuildRejectsNonScalarPath(t *testing.T) {
+	src := yearPartitionedSource(t, 1)
+	objPath := jsonparse.Path{jsonparse.KeyStep("root"), jsonparse.MembersStep()}
+	if _, err := Build(src, "/sensors", objPath); err == nil {
+		t.Fatal("object path must be rejected")
+	}
+	if _, err := Build(src, "/missing", datePath()); err == nil {
+		t.Fatal("missing collection must fail")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	src := yearPartitionedSource(t, 3)
+	zm, err := Build(src, "/sensors", datePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Add(zm)
+	if reg.Len() != 1 {
+		t.Fatalf("len = %d", reg.Len())
+	}
+	files, _ := src.Files("/sensors")
+	r, ok := reg.FileRange("/sensors", datePath(), files[0])
+	if !ok {
+		t.Fatal("range not found")
+	}
+	if r.Count == 0 || r.Min == nil {
+		t.Errorf("range = %+v", r)
+	}
+	// Misses: wrong path, wrong collection, wrong file.
+	if _, ok := reg.FileRange("/sensors", datePath().Append(jsonparse.MembersStep()), files[0]); ok {
+		t.Error("wrong path should miss")
+	}
+	if _, ok := reg.FileRange("/other", datePath(), files[0]); ok {
+		t.Error("wrong collection should miss")
+	}
+	if _, ok := reg.FileRange("/sensors", datePath(), "nope.json"); ok {
+		t.Error("wrong file should miss")
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	p, err := jsonparse.ParsePath(`("root")()("results")()("date")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(datePath()) {
+		t.Errorf("parsed = %s", p)
+	}
+	p, err = jsonparse.ParsePath(`("items")(3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jsonparse.Path{jsonparse.KeyStep("items"), jsonparse.IndexStep(3)}
+	if !p.Equal(want) {
+		t.Errorf("parsed = %s", p)
+	}
+	for _, bad := range []string{"", "root", "(", `("a"`, `("a")x`, "(0)", "(x)"} {
+		if _, err := jsonparse.ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q) should fail", bad)
+		}
+	}
+	// Round trip.
+	if rt, err := jsonparse.ParsePath(datePath().String()); err != nil || !rt.Equal(datePath()) {
+		t.Errorf("round trip failed: %v %v", rt, err)
+	}
+}

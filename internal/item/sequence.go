@@ -1,0 +1,104 @@
+package item
+
+import "fmt"
+
+// Sequence is an ordered, possibly empty, sequence of items — the value
+// domain of JSONiq expressions. A tuple field always carries a Sequence
+// (usually a singleton).
+type Sequence []Item
+
+// Empty is the empty sequence.
+var Empty = Sequence(nil)
+
+// Single wraps one item into a singleton sequence.
+func Single(it Item) Sequence { return Sequence{it} }
+
+// IsSingleton reports whether the sequence contains exactly one item.
+func (s Sequence) IsSingleton() bool { return len(s) == 1 }
+
+// One returns the single item of a singleton sequence, or an error otherwise.
+func (s Sequence) One() (Item, error) {
+	if len(s) != 1 {
+		return nil, fmt.Errorf("item: expected singleton sequence, got %d items", len(s))
+	}
+	return s[0], nil
+}
+
+// EqualSeq reports element-wise equality of two sequences.
+func EqualSeq(a, b Sequence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareSeq orders sequences element-wise, shorter-first on ties.
+func CompareSeq(a, b Sequence) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+// HashSeq hashes a sequence consistently with EqualSeq.
+func HashSeq(s Sequence) uint64 {
+	var h uint64 = 14695981039346656037
+	h = hashUint64(h, uint64(len(s)))
+	for _, it := range s {
+		h = hashItem(h, it)
+	}
+	return h
+}
+
+// JSONSeq renders a sequence as comma-separated JSON values (JSONiq
+// serialization of a sequence).
+func JSONSeq(s Sequence) string {
+	var dst []byte
+	for i, it := range s {
+		if i > 0 {
+			dst = append(dst, ", "...)
+		}
+		dst = AppendJSON(dst, it)
+	}
+	return string(dst)
+}
+
+// SizeBytesSeq estimates the in-memory footprint of a sequence.
+func SizeBytesSeq(s Sequence) int64 {
+	var n int64 = 24
+	for _, it := range s {
+		n += 16 + SizeBytes(it)
+	}
+	return n
+}
+
+// EffectiveBoolean computes the JSONiq effective boolean value of a sequence:
+// empty is false; a singleton boolean is itself; a singleton null is false;
+// a singleton number is value!=0; a singleton string is len!=0; everything
+// else (objects, arrays, longer sequences) is true.
+func EffectiveBoolean(s Sequence) bool {
+	if len(s) == 0 {
+		return false
+	}
+	if len(s) == 1 {
+		switch x := s[0].(type) {
+		case Null:
+			return false
+		case Bool:
+			return bool(x)
+		case Number:
+			return x != 0
+		case String:
+			return len(x) != 0
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+// Package jsoniq implements the front end of the query processor: a lexer
+// and recursive-descent parser for the subset of the JSONiq extension to
+// XQuery used in the paper — FLWOR expressions (for / let / where /
+// group by / return), the JSONiq navigation postfixes (value and
+// keys-or-members), function calls, comparisons, boolean connectives and
+// arithmetic.
+package jsoniq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a parsed expression.
+type Expr interface {
+	// String renders the expression in (normalized) JSONiq syntax.
+	String() string
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Value float64 }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+// VarRef references a bound variable, e.g. $x.
+type VarRef struct{ Name string }
+
+// Call is a function call, e.g. count(...), dateTime(...).
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Binary is a binary operation: comparison (eq ne lt le gt ge), boolean
+// (and or), or arithmetic (+ - * div mod).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Value is the JSONiq value navigation postfix: Base(Key), where Key is an
+// object field name or array index expression.
+type Value struct {
+	Base Expr
+	Key  Expr
+}
+
+// KeysOrMembers is the JSONiq keys-or-members postfix: Base().
+type KeysOrMembers struct{ Base Expr }
+
+// ObjectPair is one key/value pair of an object constructor.
+type ObjectPair struct {
+	Key   Expr
+	Value Expr
+}
+
+// ObjectCons is a JSONiq object constructor: {"k": e, ...}.
+type ObjectCons struct {
+	Pairs []ObjectPair
+}
+
+// ArrayCons is a JSONiq array constructor: [e1, e2, ...]; each member
+// expression contributes all of its items.
+type ArrayCons struct {
+	Members []Expr
+}
+
+// FLWOR is a for/let/where/group-by/order-by/return expression.
+type FLWOR struct {
+	Clauses []Clause
+	Return  Expr
+}
+
+// Clause is one FLWOR clause.
+type Clause interface {
+	clauseString() string
+}
+
+// ForClause binds Var to each item of In.
+type ForClause struct {
+	Var string
+	In  Expr
+}
+
+// LetClause binds Var to the value of E.
+type LetClause struct {
+	Var string
+	E   Expr
+}
+
+// WhereClause filters by E.
+type WhereClause struct{ E Expr }
+
+// GroupKey is one group-by key definition: $Var := E.
+type GroupKey struct {
+	Var string
+	E   Expr
+}
+
+// GroupByClause groups by its keys. Non-key variables become sequences of
+// the grouped items (XQuery 3.0 semantics).
+type GroupByClause struct{ Keys []GroupKey }
+
+// OrderKey is one ordering key: an expression plus direction.
+type OrderKey struct {
+	E          Expr
+	Descending bool
+}
+
+// OrderByClause orders the tuple stream by its keys.
+type OrderByClause struct{ Keys []OrderKey }
+
+func (e *NumberLit) String() string {
+	return strconv.FormatFloat(e.Value, 'g', -1, 64)
+}
+func (e *StringLit) String() string { return strconv.Quote(e.Value) }
+func (e *VarRef) String() string    { return "$" + e.Name }
+
+func (e *Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Fn + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+func (e *Value) String() string         { return e.Base.String() + "(" + e.Key.String() + ")" }
+func (e *KeysOrMembers) String() string { return e.Base.String() + "()" }
+
+func (e *ObjectCons) String() string {
+	parts := make([]string, len(e.Pairs))
+	for i, p := range e.Pairs {
+		parts[i] = p.Key.String() + " : " + p.Value.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (e *ArrayCons) String() string {
+	parts := make([]string, len(e.Members))
+	for i, m := range e.Members {
+		parts[i] = m.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func (e *FLWOR) String() string {
+	var b strings.Builder
+	for _, c := range e.Clauses {
+		b.WriteString(c.clauseString())
+		b.WriteString(" ")
+	}
+	b.WriteString("return ")
+	b.WriteString(e.Return.String())
+	return b.String()
+}
+
+func (c *ForClause) clauseString() string { return fmt.Sprintf("for $%s in %s", c.Var, c.In) }
+func (c *LetClause) clauseString() string { return fmt.Sprintf("let $%s := %s", c.Var, c.E) }
+func (c *WhereClause) clauseString() string {
+	return fmt.Sprintf("where %s", c.E)
+}
+func (c *GroupByClause) clauseString() string {
+	keys := make([]string, len(c.Keys))
+	for i, k := range c.Keys {
+		keys[i] = fmt.Sprintf("$%s := %s", k.Var, k.E)
+	}
+	return "group by " + strings.Join(keys, ", ")
+}
+
+func (c *OrderByClause) clauseString() string {
+	keys := make([]string, len(c.Keys))
+	for i, k := range c.Keys {
+		keys[i] = k.E.String()
+		if k.Descending {
+			keys[i] += " descending"
+		}
+	}
+	return "order by " + strings.Join(keys, ", ")
+}

@@ -1,0 +1,264 @@
+package jsoniq
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// tokKind identifies a lexical token.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tName
+	tVar    // $name
+	tString // "..." or '...'
+	tNumber
+	tLParen
+	tRParen
+	tComma
+	tAssign // :=
+	tPlus
+	tMinus
+	tStar
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tColon
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of query"
+	case tName:
+		return "name"
+	case tVar:
+		return "variable"
+	case tString:
+		return "string"
+	case tNumber:
+		return "number"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tComma:
+		return "','"
+	case tAssign:
+		return "':='"
+	case tPlus:
+		return "'+'"
+	case tMinus:
+		return "'-'"
+	case tStar:
+		return "'*'"
+	case tLBrace:
+		return "'{'"
+	case tRBrace:
+		return "'}'"
+	case tLBracket:
+		return "'['"
+	case tRBracket:
+		return "']'"
+	case tColon:
+		return "':'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string  // for tName, tVar, tString
+	num  float64 // for tNumber
+	pos  int     // byte offset in the query
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tName:
+		return t.text
+	case tVar:
+		return "$" + t.text
+	case tString:
+		return strconv.Quote(t.text)
+	case tNumber:
+		return strconv.FormatFloat(t.num, 'g', -1, 64)
+	default:
+		return t.kind.String()
+	}
+}
+
+// lex tokenizes the query source.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			// XQuery comment: (: ... :)
+			if i+1 < len(src) && src[i+1] == ':' {
+				end, err := skipComment(src, i)
+				if err != nil {
+					return nil, err
+				}
+				i = end
+				continue
+			}
+			toks = append(toks, token{kind: tLParen, pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tRParen, pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tComma, pos: i})
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tPlus, pos: i})
+			i++
+		case c == '-':
+			toks = append(toks, token{kind: tMinus, pos: i})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tStar, pos: i})
+			i++
+		case c == ':':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tAssign, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tColon, pos: i})
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{kind: tLBrace, pos: i})
+			i++
+		case c == '}':
+			toks = append(toks, token{kind: tRBrace, pos: i})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tLBracket, pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tRBracket, pos: i})
+			i++
+		case c == '$':
+			start := i + 1
+			j := start
+			for j < len(src) && isNameChar(src[j], j > start) {
+				j++
+			}
+			if j == start {
+				return nil, fmt.Errorf("jsoniq: offset %d: '$' without variable name", i)
+			}
+			toks = append(toks, token{kind: tVar, text: src[start:j], pos: i})
+			i = j
+		case c == '"' || c == '\'':
+			s, end, err := lexString(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tString, text: s, pos: i})
+			i = end
+		case c >= '0' && c <= '9':
+			n, end, err := lexNumber(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tNumber, num: n, pos: i})
+			i = end
+		case isNameChar(c, false):
+			j := i
+			for j < len(src) && isNameChar(src[j], j > i) {
+				j++
+			}
+			toks = append(toks, token{kind: tName, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("jsoniq: offset %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: len(src)})
+	return toks, nil
+}
+
+// isNameChar reports whether c may appear in an NCName. Hyphens and digits
+// are allowed only after the first character (year-from-dateTime, json-doc).
+func isNameChar(c byte, interior bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	if interior && (c == '-' || c >= '0' && c <= '9') {
+		return true
+	}
+	return false
+}
+
+func skipComment(src string, start int) (int, error) {
+	depth := 0
+	i := start
+	for i+1 < len(src) {
+		switch {
+		case src[i] == '(' && src[i+1] == ':':
+			depth++
+			i += 2
+		case src[i] == ':' && src[i+1] == ')':
+			depth--
+			i += 2
+			if depth == 0 {
+				return i, nil
+			}
+		default:
+			i++
+		}
+	}
+	return 0, fmt.Errorf("jsoniq: offset %d: unterminated comment", start)
+}
+
+func lexString(src string, start int) (string, int, error) {
+	quote := src[start]
+	var b []byte
+	i := start + 1
+	for i < len(src) {
+		c := src[i]
+		if c == quote {
+			// Doubled quote is an escaped quote in XQuery.
+			if i+1 < len(src) && src[i+1] == quote {
+				b = append(b, quote)
+				i += 2
+				continue
+			}
+			return string(b), i + 1, nil
+		}
+		b = append(b, c)
+		i++
+	}
+	return "", 0, fmt.Errorf("jsoniq: offset %d: unterminated string literal", start)
+}
+
+func lexNumber(src string, start int) (float64, int, error) {
+	i := start
+	for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+		i++
+	}
+	if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+		i++
+		if i < len(src) && (src[i] == '+' || src[i] == '-') {
+			i++
+		}
+		for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+			i++
+		}
+	}
+	n, err := strconv.ParseFloat(src[start:i], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("jsoniq: offset %d: bad number %q", start, src[start:i])
+	}
+	return n, i, nil
+}

@@ -1,0 +1,442 @@
+package jsoniq
+
+import "fmt"
+
+// Parse parses a query string into its AST.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, p.errf("unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("jsoniq: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// isName reports whether the current token is the given bare name.
+func (p *parser) isName(name string) bool {
+	t := p.cur()
+	return t.kind == tName && t.text == name
+}
+
+func (p *parser) expectName(name string) error {
+	if !p.isName(name) {
+		return p.errf("expected %q, got %s", name, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, p.errf("expected %s, got %s", kind, p.cur())
+	}
+	return p.next(), nil
+}
+
+// parseExprSingle: FLWOR or an operator expression.
+func (p *parser) parseExprSingle() (Expr, error) {
+	if p.isName("for") || p.isName("let") {
+		return p.parseFLWOR()
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseFLWOR() (Expr, error) {
+	var clauses []Clause
+	for {
+		switch {
+		case p.isName("for"):
+			p.next()
+			for {
+				v, err := p.expect(tVar)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectName("in"); err != nil {
+					return nil, err
+				}
+				in, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				clauses = append(clauses, &ForClause{Var: v.text, In: in})
+				if p.cur().kind != tComma {
+					break
+				}
+				p.next()
+			}
+		case p.isName("let"):
+			p.next()
+			for {
+				v, err := p.expect(tVar)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tAssign); err != nil {
+					return nil, err
+				}
+				e, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				clauses = append(clauses, &LetClause{Var: v.text, E: e})
+				if p.cur().kind != tComma {
+					break
+				}
+				p.next()
+			}
+		case p.isName("where"):
+			p.next()
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &WhereClause{E: e})
+		case p.isName("group"):
+			p.next()
+			if err := p.expectName("by"); err != nil {
+				return nil, err
+			}
+			var keys []GroupKey
+			for {
+				v, err := p.expect(tVar)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tAssign); err != nil {
+					return nil, err
+				}
+				e, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, GroupKey{Var: v.text, E: e})
+				if p.cur().kind != tComma {
+					break
+				}
+				p.next()
+			}
+			clauses = append(clauses, &GroupByClause{Keys: keys})
+		case p.isName("order"):
+			p.next()
+			if err := p.expectName("by"); err != nil {
+				return nil, err
+			}
+			var keys []OrderKey
+			for {
+				e, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				key := OrderKey{E: e}
+				if p.isName("ascending") {
+					p.next()
+				} else if p.isName("descending") {
+					p.next()
+					key.Descending = true
+				}
+				keys = append(keys, key)
+				if p.cur().kind != tComma {
+					break
+				}
+				p.next()
+			}
+			clauses = append(clauses, &OrderByClause{Keys: keys})
+		case p.isName("return"):
+			p.next()
+			ret, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			return &FLWOR{Clauses: clauses, Return: ret}, nil
+		default:
+			return nil, p.errf("expected FLWOR clause or 'return', got %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isName("or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.isName("and") {
+		p.next()
+		r, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+var comparisonOps = map[string]bool{
+	"eq": true, "ne": true, "lt": true, "le": true, "gt": true, "ge": true,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tName && comparisonOps[t.text] {
+		op := p.next().text
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tPlus:
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "+", L: l, R: r}
+		case tMinus:
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.cur().kind == tStar:
+			p.next()
+			r, err := p.parsePostfix()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "*", L: l, R: r}
+		case p.isName("div"):
+			p.next()
+			r, err := p.parsePostfix()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "div", L: l, R: r}
+		case p.isName("mod"):
+			p.next()
+			r, err := p.parsePostfix()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "mod", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// parsePostfix parses a primary expression followed by any number of JSONiq
+// navigation postfixes: (expr) for value, () for keys-or-members.
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tLParen {
+		p.next()
+		if p.cur().kind == tRParen {
+			p.next()
+			e = &KeysOrMembers{Base: e}
+			continue
+		}
+		key, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		e = &Value{Base: e, Key: key}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNumber:
+		p.next()
+		return &NumberLit{Value: t.num}, nil
+	case tString:
+		p.next()
+		return &StringLit{Value: t.text}, nil
+	case tVar:
+		p.next()
+		return &VarRef{Name: t.text}, nil
+	case tName:
+		// A name followed by '(' is a function call; a bare name is an
+		// error in this subset (no path steps on names).
+		name := t.text
+		if p.toks[p.pos+1].kind == tLParen {
+			p.next() // name
+			p.next() // (
+			var args []Expr
+			if p.cur().kind != tRParen {
+				for {
+					a, err := p.parseExprSingle()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.cur().kind != tComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+			return &Call{Fn: name, Args: args}, nil
+		}
+		return nil, p.errf("unexpected name %q", name)
+	case tLParen:
+		p.next()
+		if p.cur().kind == tRParen {
+			return nil, p.errf("empty parenthesized expression")
+		}
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tMinus:
+		p.next()
+		e, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "-", L: &NumberLit{Value: 0}, R: e}, nil
+	case tLBrace:
+		return p.parseObjectCons()
+	case tLBracket:
+		return p.parseArrayCons()
+	default:
+		return nil, p.errf("unexpected %s", t)
+	}
+}
+
+// parseObjectCons parses a JSONiq object constructor {"k": e, ...}. Keys
+// are arbitrary expressions that must evaluate to strings.
+func (p *parser) parseObjectCons() (Expr, error) {
+	p.next() // {
+	obj := &ObjectCons{}
+	if p.cur().kind == tRBrace {
+		p.next()
+		return obj, nil
+	}
+	for {
+		key, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		value, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		obj.Pairs = append(obj.Pairs, ObjectPair{Key: key, Value: value})
+		switch p.cur().kind {
+		case tComma:
+			p.next()
+		case tRBrace:
+			p.next()
+			return obj, nil
+		default:
+			return nil, p.errf("expected ',' or '}', got %s", p.cur())
+		}
+	}
+}
+
+// parseArrayCons parses a JSONiq array constructor [e1, e2, ...].
+func (p *parser) parseArrayCons() (Expr, error) {
+	p.next() // [
+	arr := &ArrayCons{}
+	if p.cur().kind == tRBracket {
+		p.next()
+		return arr, nil
+	}
+	for {
+		m, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		arr.Members = append(arr.Members, m)
+		switch p.cur().kind {
+		case tComma:
+			p.next()
+		case tRBracket:
+			p.next()
+			return arr, nil
+		default:
+			return nil, p.errf("expected ',' or ']', got %s", p.cur())
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package jsoniq
+
+import (
+	"strings"
+	"testing"
+)
+
+// The five evaluation queries of the paper (§5.2), verbatim modulo
+// whitespace.
+const (
+	queryQ0 = `
+for $r in collection("/sensors")("root")()("results")()
+let $datetime := dateTime(data($r("date")))
+where year-from-dateTime($datetime) ge 2003
+  and month-from-dateTime($datetime) eq 12
+  and day-from-dateTime($datetime) eq 25
+return $r`
+
+	queryQ0b = `
+for $r in collection("/sensors")("root")()("results")()("date")
+let $datetime := dateTime(data($r))
+where year-from-dateTime($datetime) ge 2003
+  and month-from-dateTime($datetime) eq 12
+  and day-from-dateTime($datetime) eq 25
+return $r`
+
+	queryQ1 = `
+for $r in collection("/sensors")("root")()("results")()
+where $r("dataType") eq "TMIN"
+group by $date := $r("date")
+return count($r("station"))`
+
+	queryQ1b = `
+for $r in collection("/sensors")("root")()("results")()
+where $r("dataType") eq "TMIN"
+group by $date := $r("date")
+return count(for $i in $r return $i("station"))`
+
+	queryQ2 = `
+avg(
+  for $r_min in collection("/sensors")("root")()("results")()
+  for $r_max in collection("/sensors")("root")()("results")()
+  where $r_min("station") eq $r_max("station")
+    and $r_min("date") eq $r_max("date")
+    and $r_min("dataType") eq "TMIN"
+    and $r_max("dataType") eq "TMAX"
+  return $r_max("value") - $r_min("value")
+) div 10`
+)
+
+func mustParseQ(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	return e
+}
+
+func TestParseQ0(t *testing.T) {
+	e := mustParseQ(t, queryQ0)
+	fl, ok := e.(*FLWOR)
+	if !ok {
+		t.Fatalf("Q0 is %T, want FLWOR", e)
+	}
+	if len(fl.Clauses) != 3 {
+		t.Fatalf("Q0 clauses = %d, want 3 (for, let, where)", len(fl.Clauses))
+	}
+	fc, ok := fl.Clauses[0].(*ForClause)
+	if !ok || fc.Var != "r" {
+		t.Fatalf("first clause = %#v", fl.Clauses[0])
+	}
+	// The for-domain is a chain of postfixes over collection(...).
+	if _, ok := fc.In.(*KeysOrMembers); !ok {
+		t.Errorf("for-domain should end in keys-or-members, got %T", fc.In)
+	}
+	lc, ok := fl.Clauses[1].(*LetClause)
+	if !ok || lc.Var != "datetime" {
+		t.Fatalf("second clause = %#v", fl.Clauses[1])
+	}
+	wc, ok := fl.Clauses[2].(*WhereClause)
+	if !ok {
+		t.Fatalf("third clause = %#v", fl.Clauses[2])
+	}
+	// where is and(and(ge, eq), eq) with left associativity.
+	and1, ok := wc.E.(*Binary)
+	if !ok || and1.Op != "and" {
+		t.Fatalf("where = %s", wc.E)
+	}
+	if ret, ok := fl.Return.(*VarRef); !ok || ret.Name != "r" {
+		t.Errorf("return = %s", fl.Return)
+	}
+}
+
+func TestParseQ0bPathExtended(t *testing.T) {
+	e := mustParseQ(t, queryQ0b)
+	fc := e.(*FLWOR).Clauses[0].(*ForClause)
+	// ...("results")()("date"): outermost postfix is the value("date").
+	v, ok := fc.In.(*Value)
+	if !ok {
+		t.Fatalf("for-domain = %T, want Value", fc.In)
+	}
+	if key, ok := v.Key.(*StringLit); !ok || key.Value != "date" {
+		t.Errorf("outermost key = %s", v.Key)
+	}
+	if _, ok := v.Base.(*KeysOrMembers); !ok {
+		t.Errorf("base should be keys-or-members, got %T", v.Base)
+	}
+}
+
+func TestParseQ1GroupBy(t *testing.T) {
+	e := mustParseQ(t, queryQ1)
+	fl := e.(*FLWOR)
+	if len(fl.Clauses) != 3 {
+		t.Fatalf("clauses = %d", len(fl.Clauses))
+	}
+	gb, ok := fl.Clauses[2].(*GroupByClause)
+	if !ok {
+		t.Fatalf("third clause = %#v", fl.Clauses[2])
+	}
+	if len(gb.Keys) != 1 || gb.Keys[0].Var != "date" {
+		t.Fatalf("group keys = %#v", gb.Keys)
+	}
+	call, ok := fl.Return.(*Call)
+	if !ok || call.Fn != "count" {
+		t.Fatalf("return = %s", fl.Return)
+	}
+}
+
+func TestParseQ1bNestedFLWOR(t *testing.T) {
+	e := mustParseQ(t, queryQ1b)
+	fl := e.(*FLWOR)
+	call := fl.Return.(*Call)
+	if call.Fn != "count" || len(call.Args) != 1 {
+		t.Fatalf("return = %s", fl.Return)
+	}
+	inner, ok := call.Args[0].(*FLWOR)
+	if !ok {
+		t.Fatalf("count argument = %T, want nested FLWOR", call.Args[0])
+	}
+	if inner.Clauses[0].(*ForClause).Var != "i" {
+		t.Errorf("inner for var = %s", inner.Clauses[0].(*ForClause).Var)
+	}
+}
+
+func TestParseQ2SelfJoin(t *testing.T) {
+	e := mustParseQ(t, queryQ2)
+	div, ok := e.(*Binary)
+	if !ok || div.Op != "div" {
+		t.Fatalf("Q2 top = %s", e)
+	}
+	if n, ok := div.R.(*NumberLit); !ok || n.Value != 10 {
+		t.Errorf("divisor = %s", div.R)
+	}
+	avg, ok := div.L.(*Call)
+	if !ok || avg.Fn != "avg" {
+		t.Fatalf("left = %s", div.L)
+	}
+	fl, ok := avg.Args[0].(*FLWOR)
+	if !ok {
+		t.Fatalf("avg arg = %T", avg.Args[0])
+	}
+	fors := 0
+	for _, c := range fl.Clauses {
+		if _, ok := c.(*ForClause); ok {
+			fors++
+		}
+	}
+	if fors != 2 {
+		t.Errorf("for clauses = %d, want 2", fors)
+	}
+	// return $r_max("value") - $r_min("value")
+	sub, ok := fl.Return.(*Binary)
+	if !ok || sub.Op != "-" {
+		t.Errorf("return = %s", fl.Return)
+	}
+}
+
+func TestParseBookstoreQueries(t *testing.T) {
+	// Listings 2-5 of the paper.
+	queries := []string{
+		`json-doc("books.json")("bookstore")("book")()`,
+		`collection("/books")("bookstore")("book")()`,
+		`for $x in collection("/books")("bookstore")("book")()
+		 group by $author := $x("author")
+		 return count($x("title"))`,
+		`for $x in collection("/books")("bookstore")("book")()
+		 group by $author := $x("author")
+		 return count(for $j in $x return $j("title"))`,
+	}
+	for _, q := range queries {
+		mustParseQ(t, q)
+	}
+}
+
+func TestParseOperatorsAndPrecedence(t *testing.T) {
+	e := mustParseQ(t, `1 + 2 * 3 eq 7 and 2 lt 3 or 1 ge 2`)
+	// ((1+(2*3)) eq 7 and (2 lt 3)) or (1 ge 2)
+	or, ok := e.(*Binary)
+	if !ok || or.Op != "or" {
+		t.Fatalf("top = %s", e)
+	}
+	and, ok := or.L.(*Binary)
+	if !ok || and.Op != "and" {
+		t.Fatalf("or.L = %s", or.L)
+	}
+	eq, ok := and.L.(*Binary)
+	if !ok || eq.Op != "eq" {
+		t.Fatalf("and.L = %s", and.L)
+	}
+	add, ok := eq.L.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("eq.L = %s", eq.L)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("add.R = %s", add.R)
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	e := mustParseQ(t, `-5 + 3`)
+	add := e.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("top = %s", e)
+	}
+	neg := add.L.(*Binary)
+	if neg.Op != "-" {
+		t.Fatalf("unary = %s", add.L)
+	}
+}
+
+func TestParseIndexedValue(t *testing.T) {
+	e := mustParseQ(t, `$a(1)`)
+	v := e.(*Value)
+	if n, ok := v.Key.(*NumberLit); !ok || n.Value != 1 {
+		t.Fatalf("key = %s", v.Key)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e := mustParseQ(t, `(: outer (: nested :) comment :) 1 + 1`)
+	if b, ok := e.(*Binary); !ok || b.Op != "+" {
+		t.Fatalf("got %s", e)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	e := mustParseQ(t, `"say ""hi"""`)
+	if s, ok := e.(*StringLit); !ok || s.Value != `say "hi"` {
+		t.Fatalf("got %s", e)
+	}
+	e = mustParseQ(t, `'single'`)
+	if s, ok := e.(*StringLit); !ok || s.Value != "single" {
+		t.Fatalf("got %s", e)
+	}
+}
+
+func TestParseMultiVarFor(t *testing.T) {
+	e := mustParseQ(t, `for $a in collection("/x")(), $b in $a() return $b`)
+	fl := e.(*FLWOR)
+	if len(fl.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(fl.Clauses))
+	}
+	if fl.Clauses[1].(*ForClause).Var != "b" {
+		t.Errorf("second for var = %v", fl.Clauses[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "for", "for $x", "for $x in", "for $x in $y", // missing return
+		"for $x in $y return", "let $x return $x",
+		"$", "1 +", "count(", "count(1", "(1", "()",
+		"group by $k = $x return $k", // '=' instead of ':='
+		"1 2", "$x(1", `"unterminated`, "(: unterminated", "@",
+		"for x in $y return x", // missing $
+		"1 :", "bareword",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestASTStringRoundTrip(t *testing.T) {
+	// String() output must re-parse to an equivalent string form.
+	for _, q := range []string{queryQ0, queryQ0b, queryQ1, queryQ1b, queryQ2} {
+		e := mustParseQ(t, q)
+		s1 := e.String()
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", s1, err)
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Errorf("not a fixpoint:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestClauseStrings(t *testing.T) {
+	e := mustParseQ(t, queryQ1)
+	s := e.String()
+	for _, want := range []string{"for $r in", "where", "group by $date :=", "return count("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestParseObjectConstructor(t *testing.T) {
+	e := mustParseQ(t, `{"a": 1, "b": {"c": [1, 2]}}`)
+	obj, ok := e.(*ObjectCons)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(obj.Pairs) != 2 {
+		t.Fatalf("pairs = %d", len(obj.Pairs))
+	}
+	if k, ok := obj.Pairs[0].Key.(*StringLit); !ok || k.Value != "a" {
+		t.Errorf("first key = %s", obj.Pairs[0].Key)
+	}
+	inner, ok := obj.Pairs[1].Value.(*ObjectCons)
+	if !ok {
+		t.Fatalf("nested value = %T", obj.Pairs[1].Value)
+	}
+	if _, ok := inner.Pairs[0].Value.(*ArrayCons); !ok {
+		t.Errorf("inner array = %T", inner.Pairs[0].Value)
+	}
+	// Empty constructors.
+	if o := mustParseQ(t, `{}`).(*ObjectCons); len(o.Pairs) != 0 {
+		t.Error("empty object")
+	}
+	if a := mustParseQ(t, `[]`).(*ArrayCons); len(a.Members) != 0 {
+		t.Error("empty array")
+	}
+}
+
+func TestParseConstructorPostfix(t *testing.T) {
+	// Navigation applies to constructors like any other expression.
+	e := mustParseQ(t, `{"a": [10, 20]}("a")(2)`)
+	v, ok := e.(*Value)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if n, ok := v.Key.(*NumberLit); !ok || n.Value != 2 {
+		t.Errorf("index = %s", v.Key)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	e := mustParseQ(t, `
+		for $x in $c()
+		order by $x("a") descending, $x("b") ascending, $x("c")
+		return $x`)
+	fl := e.(*FLWOR)
+	ob, ok := fl.Clauses[1].(*OrderByClause)
+	if !ok {
+		t.Fatalf("clause = %#v", fl.Clauses[1])
+	}
+	if len(ob.Keys) != 3 {
+		t.Fatalf("keys = %d", len(ob.Keys))
+	}
+	if !ob.Keys[0].Descending || ob.Keys[1].Descending || ob.Keys[2].Descending {
+		t.Errorf("directions = %+v", ob.Keys)
+	}
+	if !strings.Contains(e.String(), "order by") {
+		t.Errorf("String() = %s", e)
+	}
+}
+
+func TestParseConstructorErrors(t *testing.T) {
+	bad := []string{
+		`{`, `{"a"}`, `{"a": }`, `{"a": 1,}`, `{"a" 1}`,
+		`[`, `[1,]`, `[1 2]`,
+		`for $x in $y order by return $x`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package jsonparse implements raw-JSON processing for the engine: a
+// low-level tokenizer, a tree parser producing item.Item values, and a
+// streaming path projector that extracts only the items matching a
+// projection path without materializing the rest of the document. The
+// projector is the mechanism behind the DATASCAN operator's second argument
+// (§4.2 of the paper): it is what lets the engine forward one small object
+// at a time instead of whole files.
+package jsonparse
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// TokenKind identifies a JSON token.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokColon
+	TokComma
+	TokString
+	TokNumber
+	TokTrue
+	TokFalse
+	TokNull
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokLBrace:
+		return "{"
+	case TokRBrace:
+		return "}"
+	case TokLBracket:
+		return "["
+	case TokRBracket:
+		return "]"
+	case TokColon:
+		return ":"
+	case TokComma:
+		return ","
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokTrue:
+		return "true"
+	case TokFalse:
+		return "false"
+	case TokNull:
+		return "null"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// Lexer tokenizes a JSON document held in memory. It is zero-allocation for
+// structural tokens and unescaped strings.
+type Lexer struct {
+	data []byte
+	pos  int
+
+	// Current token state, valid after Next.
+	Kind TokenKind
+	// Str holds the decoded string value when Kind==TokString.
+	Str string
+	// Num holds the numeric value when Kind==TokNumber.
+	Num float64
+}
+
+// NewLexer returns a lexer over data.
+func NewLexer(data []byte) *Lexer { return &Lexer{data: data} }
+
+// Offset reports the byte offset of the lexer cursor (start of the next
+// token), useful for error messages.
+func (l *Lexer) Offset() int { return l.pos }
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("json: offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.data) {
+		switch l.data[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+// Next advances to the next token, setting Kind (and Str/Num as applicable).
+func (l *Lexer) Next() error {
+	l.skipSpace()
+	if l.pos >= len(l.data) {
+		l.Kind = TokEOF
+		return nil
+	}
+	c := l.data[l.pos]
+	switch c {
+	case '{':
+		l.Kind, l.pos = TokLBrace, l.pos+1
+	case '}':
+		l.Kind, l.pos = TokRBrace, l.pos+1
+	case '[':
+		l.Kind, l.pos = TokLBracket, l.pos+1
+	case ']':
+		l.Kind, l.pos = TokRBracket, l.pos+1
+	case ':':
+		l.Kind, l.pos = TokColon, l.pos+1
+	case ',':
+		l.Kind, l.pos = TokComma, l.pos+1
+	case '"':
+		s, err := l.scanString()
+		if err != nil {
+			return err
+		}
+		l.Kind, l.Str = TokString, s
+	case 't':
+		if err := l.scanWord("true"); err != nil {
+			return err
+		}
+		l.Kind = TokTrue
+	case 'f':
+		if err := l.scanWord("false"); err != nil {
+			return err
+		}
+		l.Kind = TokFalse
+	case 'n':
+		if err := l.scanWord("null"); err != nil {
+			return err
+		}
+		l.Kind = TokNull
+	default:
+		if c == '-' || (c >= '0' && c <= '9') {
+			n, err := l.scanNumber()
+			if err != nil {
+				return err
+			}
+			l.Kind, l.Num = TokNumber, n
+			return nil
+		}
+		return l.errf("unexpected character %q", c)
+	}
+	return nil
+}
+
+func (l *Lexer) scanWord(w string) error {
+	if l.pos+len(w) > len(l.data) || string(l.data[l.pos:l.pos+len(w)]) != w {
+		return l.errf("invalid literal")
+	}
+	l.pos += len(w)
+	return nil
+}
+
+func (l *Lexer) scanNumber() (float64, error) {
+	start := l.pos
+	p := l.pos
+	if p < len(l.data) && l.data[p] == '-' {
+		p++
+	}
+	digits := 0
+	for p < len(l.data) && l.data[p] >= '0' && l.data[p] <= '9' {
+		p++
+		digits++
+	}
+	if digits == 0 {
+		return 0, l.errf("malformed number")
+	}
+	isFloat := false
+	if p < len(l.data) && l.data[p] == '.' {
+		isFloat = true
+		p++
+		fd := 0
+		for p < len(l.data) && l.data[p] >= '0' && l.data[p] <= '9' {
+			p++
+			fd++
+		}
+		if fd == 0 {
+			return 0, l.errf("malformed number: no digits after point")
+		}
+	}
+	if p < len(l.data) && (l.data[p] == 'e' || l.data[p] == 'E') {
+		isFloat = true
+		p++
+		if p < len(l.data) && (l.data[p] == '+' || l.data[p] == '-') {
+			p++
+		}
+		ed := 0
+		for p < len(l.data) && l.data[p] >= '0' && l.data[p] <= '9' {
+			p++
+			ed++
+		}
+		if ed == 0 {
+			return 0, l.errf("malformed number: no exponent digits")
+		}
+	}
+	text := l.data[start:p]
+	l.pos = p
+	if !isFloat && len(text) <= 15 {
+		// Fast integer path (fits float64 exactly).
+		neg := false
+		i := 0
+		if text[0] == '-' {
+			neg, i = true, 1
+		}
+		var v int64
+		for ; i < len(text); i++ {
+			v = v*10 + int64(text[i]-'0')
+		}
+		if neg {
+			v = -v
+		}
+		return float64(v), nil
+	}
+	f, err := strconv.ParseFloat(string(text), 64)
+	if err != nil || math.IsInf(f, 0) {
+		return 0, l.errf("malformed number %q", text)
+	}
+	return f, nil
+}
+
+func (l *Lexer) scanString() (string, error) {
+	// l.data[l.pos] == '"'
+	p := l.pos + 1
+	start := p
+	for p < len(l.data) {
+		c := l.data[p]
+		if c == '"' {
+			s := string(l.data[start:p])
+			l.pos = p + 1
+			return s, nil
+		}
+		if c == '\\' {
+			return l.scanStringSlow(start)
+		}
+		if c < 0x20 {
+			l.pos = p
+			return "", l.errf("control character in string")
+		}
+		p++
+	}
+	l.pos = p
+	return "", l.errf("unterminated string")
+}
+
+func (l *Lexer) scanStringSlow(start int) (string, error) {
+	buf := make([]byte, 0, 32)
+	buf = append(buf, l.data[start:]...)
+	buf = buf[:0]
+	p := start
+	data := l.data
+	for p < len(data) {
+		c := data[p]
+		switch {
+		case c == '"':
+			l.pos = p + 1
+			return string(buf), nil
+		case c == '\\':
+			p++
+			if p >= len(data) {
+				l.pos = p
+				return "", l.errf("unterminated escape")
+			}
+			switch data[p] {
+			case '"':
+				buf = append(buf, '"')
+			case '\\':
+				buf = append(buf, '\\')
+			case '/':
+				buf = append(buf, '/')
+			case 'b':
+				buf = append(buf, '\b')
+			case 'f':
+				buf = append(buf, '\f')
+			case 'n':
+				buf = append(buf, '\n')
+			case 'r':
+				buf = append(buf, '\r')
+			case 't':
+				buf = append(buf, '\t')
+			case 'u':
+				if p+4 >= len(data) {
+					l.pos = p
+					return "", l.errf("truncated \\u escape")
+				}
+				r, err := hex4(data[p+1 : p+5])
+				if err != nil {
+					l.pos = p
+					return "", l.errf("bad \\u escape: %v", err)
+				}
+				p += 4
+				if utf16IsHighSurrogate(r) && p+6 < len(data) &&
+					data[p+1] == '\\' && data[p+2] == 'u' {
+					r2, err := hex4(data[p+3 : p+7])
+					if err == nil && utf16IsLowSurrogate(r2) {
+						r = utf16Combine(r, r2)
+						p += 6
+					}
+				}
+				var tmp [4]byte
+				n := utf8.EncodeRune(tmp[:], r)
+				buf = append(buf, tmp[:n]...)
+			default:
+				l.pos = p
+				return "", l.errf("invalid escape \\%c", data[p])
+			}
+			p++
+		case c < 0x20:
+			l.pos = p
+			return "", l.errf("control character in string")
+		default:
+			buf = append(buf, c)
+			p++
+		}
+	}
+	l.pos = p
+	return "", l.errf("unterminated string")
+}
+
+func hex4(b []byte) (rune, error) {
+	var r rune
+	for _, c := range b {
+		r <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			r |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			r |= rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			r |= rune(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("non-hex digit %q", c)
+		}
+	}
+	return r, nil
+}
+
+func utf16IsHighSurrogate(r rune) bool { return r >= 0xD800 && r < 0xDC00 }
+func utf16IsLowSurrogate(r rune) bool  { return r >= 0xDC00 && r < 0xE000 }
+func utf16Combine(hi, lo rune) rune {
+	return 0x10000 + (hi-0xD800)<<10 + (lo - 0xDC00)
+}

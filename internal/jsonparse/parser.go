@@ -1,0 +1,171 @@
+package jsonparse
+
+import (
+	"fmt"
+
+	"vxq/internal/item"
+)
+
+// Parse parses a complete JSON document into an item tree. Trailing
+// non-space content is an error.
+func Parse(data []byte) (item.Item, error) {
+	l := NewLexer(data)
+	if err := l.Next(); err != nil {
+		return nil, err
+	}
+	it, err := parseValue(l)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Next(); err != nil {
+		return nil, err
+	}
+	if l.Kind != TokEOF {
+		return nil, fmt.Errorf("json: offset %d: trailing content after document", l.Offset())
+	}
+	return it, nil
+}
+
+// parseValue parses the value whose first token is the lexer's current
+// token; on return the current token is the value's last token.
+func parseValue(l *Lexer) (item.Item, error) {
+	switch l.Kind {
+	case TokNull:
+		return item.Null{}, nil
+	case TokTrue:
+		return item.Bool(true), nil
+	case TokFalse:
+		return item.Bool(false), nil
+	case TokNumber:
+		return item.Number(l.Num), nil
+	case TokString:
+		return item.String(l.Str), nil
+	case TokLBracket:
+		return parseArray(l)
+	case TokLBrace:
+		return parseObject(l)
+	case TokEOF:
+		return nil, fmt.Errorf("json: unexpected end of input")
+	default:
+		return nil, fmt.Errorf("json: offset %d: unexpected token %s", l.Offset(), l.Kind)
+	}
+}
+
+func parseArray(l *Lexer) (item.Item, error) {
+	var arr item.Array
+	if err := l.Next(); err != nil {
+		return nil, err
+	}
+	if l.Kind == TokRBracket {
+		return item.Array{}, nil
+	}
+	for {
+		it, err := parseValue(l)
+		if err != nil {
+			return nil, err
+		}
+		arr = append(arr, it)
+		if err := l.Next(); err != nil {
+			return nil, err
+		}
+		switch l.Kind {
+		case TokComma:
+			if err := l.Next(); err != nil {
+				return nil, err
+			}
+		case TokRBracket:
+			return arr, nil
+		default:
+			return nil, fmt.Errorf("json: offset %d: expected ',' or ']', got %s", l.Offset(), l.Kind)
+		}
+	}
+}
+
+func parseObject(l *Lexer) (item.Item, error) {
+	var keys []string
+	var vals []item.Item
+	if err := l.Next(); err != nil {
+		return nil, err
+	}
+	if l.Kind == TokRBrace {
+		return item.MustObject(nil, nil), nil
+	}
+	for {
+		if l.Kind != TokString {
+			return nil, fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
+		}
+		key := l.Str
+		if err := l.Next(); err != nil {
+			return nil, err
+		}
+		if l.Kind != TokColon {
+			return nil, fmt.Errorf("json: offset %d: expected ':', got %s", l.Offset(), l.Kind)
+		}
+		if err := l.Next(); err != nil {
+			return nil, err
+		}
+		v, err := parseValue(l)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, key)
+		vals = append(vals, v)
+		if err := l.Next(); err != nil {
+			return nil, err
+		}
+		switch l.Kind {
+		case TokComma:
+			if err := l.Next(); err != nil {
+				return nil, err
+			}
+		case TokRBrace:
+			return item.NewObject(keys, vals)
+		default:
+			return nil, fmt.Errorf("json: offset %d: expected ',' or '}', got %s", l.Offset(), l.Kind)
+		}
+	}
+}
+
+// skipValue consumes the value whose first token is the current token
+// without materializing anything; on return the current token is the
+// value's last token.
+func skipValue(l *Lexer) error {
+	switch l.Kind {
+	case TokNull, TokTrue, TokFalse, TokNumber, TokString:
+		return nil
+	case TokLBracket:
+		depth := 1
+		for depth > 0 {
+			if err := l.Next(); err != nil {
+				return err
+			}
+			switch l.Kind {
+			case TokLBracket, TokLBrace:
+				depth++
+			case TokRBracket, TokRBrace:
+				depth--
+			case TokEOF:
+				return fmt.Errorf("json: unexpected end of input in array")
+			}
+		}
+		return nil
+	case TokLBrace:
+		depth := 1
+		for depth > 0 {
+			if err := l.Next(); err != nil {
+				return err
+			}
+			switch l.Kind {
+			case TokLBracket, TokLBrace:
+				depth++
+			case TokRBracket, TokRBrace:
+				depth--
+			case TokEOF:
+				return fmt.Errorf("json: unexpected end of input in object")
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("json: offset %d: unexpected token %s", l.Offset(), l.Kind)
+	}
+}

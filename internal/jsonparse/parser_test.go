@@ -1,0 +1,452 @@
+package jsonparse
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vxq/internal/item"
+)
+
+func mustParse(t *testing.T, src string) item.Item {
+	t.Helper()
+	it, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	return it
+}
+
+func TestParseScalars(t *testing.T) {
+	cases := map[string]item.Item{
+		"null":            item.Null{},
+		"true":            item.Bool(true),
+		"false":           item.Bool(false),
+		"0":               item.Number(0),
+		"-12":             item.Number(-12),
+		"3.5":             item.Number(3.5),
+		"1e3":             item.Number(1000),
+		"2E-2":            item.Number(0.02),
+		"-0.5e+1":         item.Number(-5),
+		`""`:              item.String(""),
+		`"abc"`:           item.String("abc"),
+		`  42  `:          item.Number(42),
+		"123456789012345": item.Number(123456789012345),
+	}
+	for src, want := range cases {
+		if got := mustParse(t, src); !item.Equal(got, want) {
+			t.Errorf("Parse(%s) = %s, want %s", src, item.JSON(got), item.JSON(want))
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	cases := map[string]string{
+		`"a\nb"`:     "a\nb",
+		`"a\tb"`:     "a\tb",
+		`"\""`:       `"`,
+		`"\\"`:       `\`,
+		`"\/"`:       "/",
+		`"\b\f\r"`:   "\b\f\r",
+		`"A"`:        "A",
+		`"é"`:        "é",
+		`"😀"`:        "😀",
+		`"smile 😀!"`: "smile 😀!",
+	}
+	for src, want := range cases {
+		got := mustParse(t, src)
+		if !item.Equal(got, item.String(want)) {
+			t.Errorf("Parse(%s) = %s, want %q", src, item.JSON(got), want)
+		}
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	src := `{"bookstore":{"book":[{"-category":"COOKING","title":"Everyday Italian","price":30.00},{"title":"XQuery Kick Start","price":49.99}]}}`
+	it := mustParse(t, src)
+	o := it.(*item.Object)
+	books := o.Value("bookstore").(*item.Object).Value("book").(item.Array)
+	if len(books) != 2 {
+		t.Fatalf("len(books) = %d", len(books))
+	}
+	if got := books[1].(*item.Object).Value("title"); !item.Equal(got, item.String("XQuery Kick Start")) {
+		t.Errorf("title = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "{", "}", "[", "]", "{]", "[}",
+		`{"a"}`, `{"a":}`, `{"a":1,}`, `{1:2}`, `{"a":1 "b":2}`,
+		"[1,]", "[1 2]", "tru", "nul", "falsy",
+		"01x", "-", "1.", "1e", "1e+", `"abc`, `"a\q"`, `"a\u12"`,
+		`"a` + "\x01" + `"`, "1 2", "{} []", "NaN", "+1", "--1",
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDuplicateKeysRejected(t *testing.T) {
+	if _, err := Parse([]byte(`{"a":1,"a":2}`)); err == nil {
+		t.Error("duplicate keys must be rejected (JSONiq objects have unique keys)")
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	depth := 1000
+	src := strings.Repeat("[", depth) + "1" + strings.Repeat("]", depth)
+	it := mustParse(t, src)
+	for i := 0; i < depth; i++ {
+		it = it.(item.Array)[0]
+	}
+	if !item.Equal(it, item.Number(1)) {
+		t.Error("innermost value mismatch")
+	}
+}
+
+const sensorDoc = `{
+  "root": [
+    {
+      "metadata": {"count": 2},
+      "results": [
+        {"date": "2013-12-25T00:00", "dataType": "TMIN", "station": "GSW123006", "value": 4},
+        {"date": "2013-12-26T00:00", "dataType": "TMAX", "station": "GSW123006", "value": 14}
+      ]
+    },
+    {
+      "metadata": {"count": 1},
+      "results": [
+        {"date": "2014-12-25T00:00", "dataType": "WIND", "station": "GSW957859", "value": 30}
+      ]
+    }
+  ]
+}`
+
+func sensorPath() Path {
+	return Path{KeyStep("root"), MembersStep(), KeyStep("results"), MembersStep()}
+}
+
+func TestProjectSensorMeasurements(t *testing.T) {
+	var got []item.Item
+	err := Project([]byte(sensorDoc), sensorPath(), func(it item.Item) error {
+		got = append(got, it)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("emitted %d measurements, want 3", len(got))
+	}
+	if v := got[0].(*item.Object).Value("dataType"); !item.Equal(v, item.String("TMIN")) {
+		t.Errorf("first measurement dataType = %v", v)
+	}
+	if v := got[2].(*item.Object).Value("station"); !item.Equal(v, item.String("GSW957859")) {
+		t.Errorf("third measurement station = %v", v)
+	}
+}
+
+func TestProjectDateOnly(t *testing.T) {
+	path := sensorPath().Append(KeyStep("date"))
+	var got []item.Item
+	if err := Project([]byte(sensorDoc), path, func(it item.Item) error {
+		got = append(got, it)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := item.Sequence{
+		item.String("2013-12-25T00:00"),
+		item.String("2013-12-26T00:00"),
+		item.String("2014-12-25T00:00"),
+	}
+	if !item.EqualSeq(item.Sequence(got), want) {
+		t.Errorf("dates = %s", item.JSONSeq(item.Sequence(got)))
+	}
+}
+
+func TestProjectEmptyPathIsParse(t *testing.T) {
+	var got []item.Item
+	if err := Project([]byte(sensorDoc), nil, func(it item.Item) error {
+		got = append(got, it)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := mustParse(t, sensorDoc)
+	if len(got) != 1 || !item.Equal(got[0], want) {
+		t.Error("Project with empty path must behave like Parse")
+	}
+}
+
+func TestProjectIndexStep(t *testing.T) {
+	src := `{"a":[10,20,30]}`
+	for idx, want := range map[int]item.Sequence{
+		1: {item.Number(10)},
+		3: {item.Number(30)},
+		4: nil,
+		0: nil,
+	} {
+		var got item.Sequence
+		path := Path{KeyStep("a"), IndexStep(idx)}
+		if err := Project([]byte(src), path, func(it item.Item) error {
+			got = append(got, it)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !item.EqualSeq(got, want) {
+			t.Errorf("index %d: got %s want %s", idx, item.JSONSeq(got), item.JSONSeq(want))
+		}
+	}
+}
+
+func TestProjectKeysOfObject(t *testing.T) {
+	src := `{"x":1,"y":{"ignored":true}}`
+	var got item.Sequence
+	if err := Project([]byte(src), Path{MembersStep()}, func(it item.Item) error {
+		got = append(got, it)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := item.Sequence{item.String("x"), item.String("y")}
+	if !item.EqualSeq(got, want) {
+		t.Errorf("keys = %s", item.JSONSeq(got))
+	}
+}
+
+func TestProjectMismatches(t *testing.T) {
+	// Steps applied to non-matching kinds yield empty results, not errors.
+	cases := []struct {
+		src  string
+		path Path
+	}{
+		{`[1,2]`, Path{KeyStep("a")}},
+		{`{"a":1}`, Path{IndexStep(1)}},
+		{`5`, Path{MembersStep()}},
+		{`{"a":5}`, Path{KeyStep("a"), MembersStep(), KeyStep("b")}},
+		{`{"a":{"b":1}}`, Path{KeyStep("zzz")}},
+	}
+	for _, c := range cases {
+		n := 0
+		if err := Project([]byte(c.src), c.path, func(item.Item) error { n++; return nil }); err != nil {
+			t.Errorf("Project(%s, %s): %v", c.src, c.path, err)
+		}
+		if n != 0 {
+			t.Errorf("Project(%s, %s) emitted %d items, want 0", c.src, c.path, n)
+		}
+	}
+}
+
+func TestProjectEmitError(t *testing.T) {
+	errStop := strings.NewReader // dummy to avoid unused import changes
+	_ = errStop
+	count := 0
+	err := Project([]byte(`[1,2,3]`), Path{MembersStep()}, func(item.Item) error {
+		count++
+		if count == 2 {
+			return errSentinel
+		}
+		return nil
+	})
+	if err != errSentinel {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if count != 2 {
+		t.Errorf("emit called %d times, want 2", count)
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }
+
+func TestProjectTruncatedInput(t *testing.T) {
+	bad := []string{
+		`{"root": [ {"a": 1}`,
+		`{"root": `,
+		`{"root": [1,2`,
+		`{"root"`,
+	}
+	for _, src := range bad {
+		err := Project([]byte(src), Path{KeyStep("root"), MembersStep()}, func(item.Item) error { return nil })
+		if err == nil {
+			t.Errorf("Project(%q) should fail", src)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := Path{KeyStep("root"), MembersStep(), KeyStep("results"), MembersStep(), IndexStep(2)}
+	want := `("root")()("results")()(2)`
+	if got := p.String(); got != want {
+		t.Errorf("String = %s, want %s", got, want)
+	}
+}
+
+func TestPathEqualAppend(t *testing.T) {
+	p := Path{KeyStep("a")}
+	q := p.Append(MembersStep())
+	if p.Equal(q) {
+		t.Error("p and q differ")
+	}
+	if len(p) != 1 {
+		t.Error("Append must not modify receiver")
+	}
+	if !q.Equal(Path{KeyStep("a"), MembersStep()}) {
+		t.Error("Append result mismatch")
+	}
+}
+
+func TestApplyPathReference(t *testing.T) {
+	doc := mustParse(t, sensorDoc)
+	seq := ApplyPath(doc, sensorPath())
+	if len(seq) != 3 {
+		t.Fatalf("ApplyPath yielded %d, want 3", len(seq))
+	}
+}
+
+// randomJSONValue builds random JSON-able items (no DateTime, which has no
+// JSON source form).
+func randomJSONValue(r *rand.Rand, depth int) item.Item {
+	k := r.Intn(6)
+	if depth <= 0 && k >= 4 {
+		k = r.Intn(4)
+	}
+	switch k {
+	case 0:
+		return item.Null{}
+	case 1:
+		return item.Bool(r.Intn(2) == 0)
+	case 2:
+		return item.Number(float64(r.Intn(2000) - 1000))
+	case 3:
+		b := make([]byte, r.Intn(10))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return item.String(b)
+	case 4:
+		n := r.Intn(4)
+		a := make(item.Array, n)
+		for i := range a {
+			a[i] = randomJSONValue(r, depth-1)
+		}
+		return a
+	default:
+		n := r.Intn(4)
+		var keys []string
+		var vals []item.Item
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			k := string(rune('a' + r.Intn(6)))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+			vals = append(vals, randomJSONValue(r, depth-1))
+		}
+		return item.MustObject(keys, vals)
+	}
+}
+
+func randomPath(r *rand.Rand) Path {
+	n := r.Intn(4)
+	p := make(Path, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(3) {
+		case 0:
+			p = append(p, KeyStep(string(rune('a'+r.Intn(6)))))
+		case 1:
+			p = append(p, IndexStep(1+r.Intn(3)))
+		default:
+			p = append(p, MembersStep())
+		}
+	}
+	return p
+}
+
+type docAndPath struct {
+	Doc  item.Item
+	Path Path
+}
+
+func (docAndPath) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(docAndPath{Doc: randomJSONValue(r, 3), Path: randomPath(r)})
+}
+
+// TestQuickProjectorMatchesReference is the core projector property: for any
+// document and path, streaming projection over the serialized document equals
+// parse-then-navigate.
+func TestQuickProjectorMatchesReference(t *testing.T) {
+	f := func(dp docAndPath) bool {
+		src := []byte(item.JSON(dp.Doc))
+		want := ApplyPath(dp.Doc, dp.Path)
+		var got item.Sequence
+		if err := Project(src, dp.Path, func(it item.Item) error {
+			got = append(got, it)
+			return nil
+		}); err != nil {
+			t.Logf("Project(%s, %s): %v", src, dp.Path, err)
+			return false
+		}
+		if !item.EqualSeq(got, want) {
+			t.Logf("doc=%s path=%s got=%s want=%s", src, dp.Path,
+				item.JSONSeq(got), item.JSONSeq(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParsePrintFixpoint: parse(print(x)) == x.
+func TestQuickParsePrintFixpoint(t *testing.T) {
+	f := func(dp docAndPath) bool {
+		src := item.JSON(dp.Doc)
+		got, err := Parse([]byte(src))
+		if err != nil {
+			return false
+		}
+		return item.Equal(got, dp.Doc) && item.JSON(got) == src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseUnicodeEscapes(t *testing.T) {
+	cases := map[string]string{
+		"\"\\u0041\"":        "A",
+		"\"\\u00e9\"":        "é",
+		"\"\\u00E9\"":        "é",
+		"\"\\ud83d\\ude00\"": "\U0001F600", // surrogate pair
+		"\"x\\u0041y\"":      "xAy",
+	}
+	for src, want := range cases {
+		got := mustParse(t, src)
+		if !item.Equal(got, item.String(want)) {
+			t.Errorf("Parse(%s) = %s, want %q", src, item.JSON(got), want)
+		}
+	}
+	// A lone high surrogate must not crash and must consume the input.
+	if _, err := Parse([]byte("\"\\ud83d\"")); err != nil {
+		t.Errorf("lone surrogate should still parse: %v", err)
+	}
+	for _, bad := range []string{"\"\\uZZZZ\"", "\"\\u12\""} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%s) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package jsonparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vxq/internal/item"
+)
+
+// StepKind identifies one navigation step of a projection path.
+type StepKind uint8
+
+// Projection step kinds, mirroring the JSONiq navigation expressions of the
+// paper (§3.2): Value by key, Value by index, and keys-or-members.
+const (
+	// StepKey descends into the value stored under Key of an object
+	// (JSONiq value expression with a field name).
+	StepKey StepKind = iota
+	// StepIndex selects the Index-th (1-based) member of an array
+	// (JSONiq value expression with an index).
+	StepIndex
+	// StepMembers enumerates all members of an array, or all keys of an
+	// object (JSONiq keys-or-members expression).
+	StepMembers
+)
+
+// Step is one navigation step.
+type Step struct {
+	Kind  StepKind
+	Key   string // for StepKey
+	Index int    // for StepIndex, 1-based
+}
+
+// Path is a sequence of navigation steps. It is the type of the DATASCAN
+// second argument: DATASCAN applies the path to each document while parsing,
+// emitting only the matching sub-items.
+type Path []Step
+
+// KeyStep returns a Value-by-key step.
+func KeyStep(key string) Step { return Step{Kind: StepKey, Key: key} }
+
+// IndexStep returns a Value-by-index step (1-based).
+func IndexStep(i int) Step { return Step{Kind: StepIndex, Index: i} }
+
+// MembersStep returns a keys-or-members step.
+func MembersStep() Step { return Step{Kind: StepMembers} }
+
+// String renders the path in JSONiq postfix syntax, e.g. ("root")()("results")().
+func (p Path) String() string {
+	var b strings.Builder
+	for _, s := range p {
+		switch s.Kind {
+		case StepKey:
+			b.WriteString("(")
+			b.WriteString(strconv.Quote(s.Key))
+			b.WriteString(")")
+		case StepIndex:
+			fmt.Fprintf(&b, "(%d)", s.Index)
+		case StepMembers:
+			b.WriteString("()")
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two paths are identical.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Append returns a new path with extra steps appended (the receiver is not
+// modified).
+func (p Path) Append(steps ...Step) Path {
+	out := make(Path, 0, len(p)+len(steps))
+	out = append(out, p...)
+	return append(out, steps...)
+}
+
+// ParsePath parses the JSONiq postfix rendering of a path, e.g.
+// ("root")()("results")()("date") or ("items")(3), the inverse of
+// Path.String.
+func ParsePath(s string) (Path, error) {
+	var p Path
+	i := 0
+	for i < len(s) {
+		// Skip whitespace between steps.
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n') {
+			i++
+		}
+		if i == len(s) {
+			break
+		}
+		if s[i] != '(' {
+			return nil, fmt.Errorf("jsonparse: path offset %d: expected '(', got %q", i, s[i])
+		}
+		i++
+		if i < len(s) && s[i] == ')' {
+			p = append(p, MembersStep())
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '"' {
+			j := i + 1
+			var key []byte
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				key = append(key, s[j])
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("jsonparse: path offset %d: unterminated key", i)
+			}
+			i = j + 1
+			if i >= len(s) || s[i] != ')' {
+				return nil, fmt.Errorf("jsonparse: path offset %d: expected ')'", i)
+			}
+			i++
+			p = append(p, KeyStep(string(key)))
+			continue
+		}
+		// Numeric index.
+		j := i
+		n := 0
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			n = n*10 + int(s[j]-'0')
+			j++
+		}
+		if j == i || j >= len(s) || s[j] != ')' {
+			return nil, fmt.Errorf("jsonparse: path offset %d: expected index or quoted key", i)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("jsonparse: path offset %d: index must be >= 1", i)
+		}
+		i = j + 1
+		p = append(p, IndexStep(n))
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("jsonparse: empty path")
+	}
+	return p, nil
+}
+
+// ApplyPath applies a projection path to a materialized item, returning the
+// resulting sequence. It implements the JSONiq navigation semantics mapped
+// over sequences and is the (slow) reference for the streaming projector.
+func ApplyPath(it item.Item, path Path) item.Sequence {
+	seq := item.Single(it)
+	for _, s := range path {
+		seq = ApplyStep(seq, s)
+	}
+	return seq
+}
+
+// ApplyStep applies one navigation step to every item of a sequence and
+// concatenates the results.
+func ApplyStep(seq item.Sequence, s Step) item.Sequence {
+	var out item.Sequence
+	for _, it := range seq {
+		switch s.Kind {
+		case StepKey:
+			if o, ok := it.(*item.Object); ok {
+				if v := o.Value(s.Key); v != nil {
+					out = append(out, v)
+				}
+			}
+		case StepIndex:
+			if a, ok := it.(item.Array); ok {
+				if s.Index >= 1 && s.Index <= len(a) {
+					out = append(out, a[s.Index-1])
+				}
+			}
+		case StepMembers:
+			switch x := it.(type) {
+			case item.Array:
+				out = append(out, x...)
+			case *item.Object:
+				for _, k := range x.Keys() {
+					out = append(out, item.String(k))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Project streams over a raw JSON document, applies path while parsing, and
+// calls emit for every item the path yields, in document order. Subtrees not
+// on the path are scanned but never materialized. If emit returns an error,
+// projection stops and that error is returned.
+//
+// Project(data, nil, emit) emits the whole document (equivalent to Parse).
+func Project(data []byte, path Path, emit func(item.Item) error) error {
+	l := NewLexer(data)
+	if err := l.Next(); err != nil {
+		return err
+	}
+	if err := projectValue(l, path, emit); err != nil {
+		return err
+	}
+	if err := l.Next(); err != nil {
+		return err
+	}
+	if l.Kind != TokEOF {
+		return fmt.Errorf("json: offset %d: trailing content after document", l.Offset())
+	}
+	return nil
+}
+
+// projectValue processes the value whose first token is current, applying
+// path[0:] to it. On return the current token is the value's last token.
+func projectValue(l *Lexer, path Path, emit func(item.Item) error) error {
+	if len(path) == 0 {
+		it, err := parseValue(l)
+		if err != nil {
+			return err
+		}
+		return emit(it)
+	}
+	step := path[0]
+	rest := path[1:]
+	switch l.Kind {
+	case TokLBrace:
+		switch step.Kind {
+		case StepKey:
+			return projectObjectKey(l, step.Key, rest, emit)
+		case StepMembers:
+			return projectObjectKeys(l, rest, emit)
+		default: // StepIndex on an object yields nothing.
+			return skipValue(l)
+		}
+	case TokLBracket:
+		switch step.Kind {
+		case StepMembers:
+			return projectArrayMembers(l, rest, emit)
+		case StepIndex:
+			return projectArrayIndex(l, step.Index, rest, emit)
+		default: // StepKey on an array yields nothing.
+			return skipValue(l)
+		}
+	default:
+		// A scalar with remaining path steps yields nothing.
+		return skipValue(l)
+	}
+}
+
+func projectObjectKey(l *Lexer, key string, rest Path, emit func(item.Item) error) error {
+	// Current token is '{'.
+	if err := l.Next(); err != nil {
+		return err
+	}
+	if l.Kind == TokRBrace {
+		return nil
+	}
+	for {
+		if l.Kind != TokString {
+			return fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
+		}
+		match := l.Str == key
+		if err := l.Next(); err != nil {
+			return err
+		}
+		if l.Kind != TokColon {
+			return fmt.Errorf("json: offset %d: expected ':', got %s", l.Offset(), l.Kind)
+		}
+		if err := l.Next(); err != nil {
+			return err
+		}
+		if match {
+			if err := projectValue(l, rest, emit); err != nil {
+				return err
+			}
+		} else if err := skipValue(l); err != nil {
+			return err
+		}
+		if err := l.Next(); err != nil {
+			return err
+		}
+		switch l.Kind {
+		case TokComma:
+			if err := l.Next(); err != nil {
+				return err
+			}
+		case TokRBrace:
+			return nil
+		default:
+			return fmt.Errorf("json: offset %d: expected ',' or '}', got %s", l.Offset(), l.Kind)
+		}
+	}
+}
+
+func projectObjectKeys(l *Lexer, rest Path, emit func(item.Item) error) error {
+	// keys-or-members on an object: emit each key (a string item) after
+	// applying the remaining path to it. A string with remaining steps
+	// yields nothing, so only an empty rest emits.
+	if err := l.Next(); err != nil {
+		return err
+	}
+	if l.Kind == TokRBrace {
+		return nil
+	}
+	for {
+		if l.Kind != TokString {
+			return fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
+		}
+		if len(rest) == 0 {
+			if err := emit(item.String(l.Str)); err != nil {
+				return err
+			}
+		}
+		if err := l.Next(); err != nil {
+			return err
+		}
+		if l.Kind != TokColon {
+			return fmt.Errorf("json: offset %d: expected ':', got %s", l.Offset(), l.Kind)
+		}
+		if err := l.Next(); err != nil {
+			return err
+		}
+		if err := skipValue(l); err != nil {
+			return err
+		}
+		if err := l.Next(); err != nil {
+			return err
+		}
+		switch l.Kind {
+		case TokComma:
+			if err := l.Next(); err != nil {
+				return err
+			}
+		case TokRBrace:
+			return nil
+		default:
+			return fmt.Errorf("json: offset %d: expected ',' or '}', got %s", l.Offset(), l.Kind)
+		}
+	}
+}
+
+func projectArrayMembers(l *Lexer, rest Path, emit func(item.Item) error) error {
+	if err := l.Next(); err != nil {
+		return err
+	}
+	if l.Kind == TokRBracket {
+		return nil
+	}
+	for {
+		if err := projectValue(l, rest, emit); err != nil {
+			return err
+		}
+		if err := l.Next(); err != nil {
+			return err
+		}
+		switch l.Kind {
+		case TokComma:
+			if err := l.Next(); err != nil {
+				return err
+			}
+		case TokRBracket:
+			return nil
+		default:
+			return fmt.Errorf("json: offset %d: expected ',' or ']', got %s", l.Offset(), l.Kind)
+		}
+	}
+}
+
+func projectArrayIndex(l *Lexer, index int, rest Path, emit func(item.Item) error) error {
+	if err := l.Next(); err != nil {
+		return err
+	}
+	if l.Kind == TokRBracket {
+		return nil
+	}
+	pos := 1
+	for {
+		if pos == index {
+			if err := projectValue(l, rest, emit); err != nil {
+				return err
+			}
+		} else if err := skipValue(l); err != nil {
+			return err
+		}
+		if err := l.Next(); err != nil {
+			return err
+		}
+		switch l.Kind {
+		case TokComma:
+			pos++
+			if err := l.Next(); err != nil {
+				return err
+			}
+		case TokRBracket:
+			return nil
+		default:
+			return fmt.Errorf("json: offset %d: expected ',' or ']', got %s", l.Offset(), l.Kind)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package runtime
+
+import (
+	"fmt"
+
+	"vxq/internal/item"
+)
+
+// AggFunc is an incremental aggregate function. AGGREGATE and GROUP-BY
+// operators feed one evaluated argument sequence per input tuple into a
+// fresh state and finish it when the group (or the whole input) ends.
+type AggFunc struct {
+	Name string
+	// New returns a fresh aggregation state.
+	New func() AggState
+}
+
+// AggState is the running state of one aggregate computation.
+type AggState interface {
+	// Step folds one input value into the state.
+	Step(v item.Sequence) error
+	// Finish produces the aggregate result.
+	Finish() (item.Sequence, error)
+	// Size estimates the state's memory footprint in bytes.
+	Size() int64
+}
+
+var aggFuncs = map[string]*AggFunc{}
+
+func registerAgg(f *AggFunc) *AggFunc {
+	if _, dup := aggFuncs[f.Name]; dup {
+		panic("runtime: duplicate aggregate " + f.Name)
+	}
+	aggFuncs[f.Name] = f
+	return f
+}
+
+// LookupAgg returns the named aggregate function.
+func LookupAgg(name string) (*AggFunc, error) {
+	f, ok := aggFuncs[name]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown aggregate %q", name)
+	}
+	return f, nil
+}
+
+// MustAgg is LookupAgg for trusted callers.
+func MustAgg(name string) *AggFunc {
+	f, err := LookupAgg(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// AggSequence materializes all input items into one sequence — the
+// unoptimized GROUP-BY nested aggregate of Fig. 9 ("put all the objects
+// whose grouping field has the same value in the same sequence"). It is what
+// the group-by rules eliminate.
+var AggSequence = registerAgg(&AggFunc{
+	Name: "agg-sequence",
+	New:  func() AggState { return &seqState{} },
+})
+
+type seqState struct {
+	seq  item.Sequence
+	size int64
+}
+
+func (s *seqState) Step(v item.Sequence) error {
+	s.seq = append(s.seq, v...)
+	s.size += item.SizeBytesSeq(v)
+	return nil
+}
+func (s *seqState) Finish() (item.Sequence, error) { return s.seq, nil }
+func (s *seqState) Size() int64                    { return 24 + s.size }
+
+// AggCount counts input items incrementally (after the group-by rules
+// convert the scalar count). It doubles as the local half of two-step
+// counting.
+var AggCount = registerAgg(&AggFunc{
+	Name: "agg-count",
+	New:  func() AggState { return &countState{} },
+})
+
+type countState struct{ n int64 }
+
+func (s *countState) Step(v item.Sequence) error {
+	s.n += int64(len(v))
+	return nil
+}
+func (s *countState) Finish() (item.Sequence, error) {
+	return item.Single(item.Number(s.n)), nil
+}
+func (s *countState) Size() int64 { return 8 }
+
+// AggSum sums numeric inputs incrementally. It is also the global half of
+// two-step counting (global count = sum of local counts).
+var AggSum = registerAgg(&AggFunc{
+	Name: "agg-sum",
+	New:  func() AggState { return &sumState{} },
+})
+
+type sumState struct{ sum float64 }
+
+func (s *sumState) Step(v item.Sequence) error {
+	for _, it := range v {
+		n, ok := it.(item.Number)
+		if !ok {
+			return fmt.Errorf("agg-sum: expected number, got %s", it.Kind())
+		}
+		s.sum += float64(n)
+	}
+	return nil
+}
+func (s *sumState) Finish() (item.Sequence, error) {
+	return item.Single(item.Number(s.sum)), nil
+}
+func (s *sumState) Size() int64 { return 8 }
+
+// AggAvg averages numeric inputs incrementally (single-step).
+var AggAvg = registerAgg(&AggFunc{
+	Name: "agg-avg",
+	New:  func() AggState { return &avgState{} },
+})
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) Step(v item.Sequence) error {
+	for _, it := range v {
+		num, ok := it.(item.Number)
+		if !ok {
+			return fmt.Errorf("agg-avg: expected number, got %s", it.Kind())
+		}
+		s.sum += float64(num)
+		s.n++
+	}
+	return nil
+}
+func (s *avgState) Finish() (item.Sequence, error) {
+	if s.n == 0 {
+		return nil, nil
+	}
+	return item.Single(item.Number(s.sum / float64(s.n))), nil
+}
+func (s *avgState) Size() int64 { return 16 }
+
+// AggAvgLocal is the local half of two-step averaging: it emits a
+// [sum, count] array that AggAvgGlobal combines.
+var AggAvgLocal = registerAgg(&AggFunc{
+	Name: "agg-avg-local",
+	New:  func() AggState { return &avgLocalState{} },
+})
+
+type avgLocalState struct{ avgState }
+
+func (s *avgLocalState) Finish() (item.Sequence, error) {
+	return item.Single(item.Array{item.Number(s.sum), item.Number(s.n)}), nil
+}
+
+// AggAvgGlobal combines [sum, count] pairs produced by AggAvgLocal.
+var AggAvgGlobal = registerAgg(&AggFunc{
+	Name: "agg-avg-global",
+	New:  func() AggState { return &avgGlobalState{} },
+})
+
+type avgGlobalState struct {
+	sum float64
+	n   float64
+}
+
+func (s *avgGlobalState) Step(v item.Sequence) error {
+	for _, it := range v {
+		pair, ok := it.(item.Array)
+		if !ok || len(pair) != 2 {
+			return fmt.Errorf("agg-avg-global: expected [sum,count] pair, got %s", item.JSON(it))
+		}
+		sum, ok1 := pair[0].(item.Number)
+		n, ok2 := pair[1].(item.Number)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("agg-avg-global: non-numeric pair %s", item.JSON(it))
+		}
+		s.sum += float64(sum)
+		s.n += float64(n)
+	}
+	return nil
+}
+func (s *avgGlobalState) Finish() (item.Sequence, error) {
+	if s.n == 0 {
+		return nil, nil
+	}
+	return item.Single(item.Number(s.sum / s.n)), nil
+}
+func (s *avgGlobalState) Size() int64 { return 16 }
+
+func extremumAgg(name string, keepLeft func(c int) bool) *AggFunc {
+	return registerAgg(&AggFunc{
+		Name: name,
+		New:  func() AggState { return &extremumState{keepLeft: keepLeft} },
+	})
+}
+
+type extremumState struct {
+	keepLeft func(c int) bool
+	best     item.Item
+}
+
+func (s *extremumState) Step(v item.Sequence) error {
+	for _, it := range v {
+		if s.best == nil {
+			s.best = it
+			continue
+		}
+		if it.Kind() != s.best.Kind() {
+			return fmt.Errorf("extremum over mixed kinds %s and %s", s.best.Kind(), it.Kind())
+		}
+		if !s.keepLeft(item.Compare(s.best, it)) {
+			s.best = it
+		}
+	}
+	return nil
+}
+
+func (s *extremumState) Finish() (item.Sequence, error) {
+	if s.best == nil {
+		return nil, nil
+	}
+	return item.Single(s.best), nil
+}
+
+func (s *extremumState) Size() int64 {
+	if s.best == nil {
+		return 16
+	}
+	return 16 + item.SizeBytes(s.best)
+}
+
+// AggMin and AggMax are incremental extrema. They are their own local and
+// global halves for two-step aggregation (min of mins is the min).
+var (
+	AggMin = extremumAgg("agg-min", func(c int) bool { return c <= 0 })
+	AggMax = extremumAgg("agg-max", func(c int) bool { return c >= 0 })
+)

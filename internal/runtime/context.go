@@ -1,0 +1,148 @@
+// Package runtime implements the expression runtime of the query engine:
+// scalar function implementations (the JSONiq value / keys-or-members
+// navigation, date-time functions, comparisons, arithmetic), aggregate
+// functions (sequence, count, sum, avg, with local/global variants for
+// two-step aggregation), and the evaluator tree that physical operators
+// execute against tuples.
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vxq/internal/frame"
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+)
+
+// Source resolves collection names to data files. It abstracts the
+// per-node "directory of JSON files" layout of the paper (§4.2): each node
+// stores a set of JSON files under the directory named by the collection
+// expression.
+type Source interface {
+	// Files returns the file paths belonging to a collection, in a stable
+	// order.
+	Files(collection string) ([]string, error)
+	// ReadFile returns the raw bytes of one file.
+	ReadFile(path string) ([]byte, error)
+}
+
+// DirSource is a Source that maps collection names to directories on the
+// local filesystem.
+type DirSource struct {
+	// Mounts maps collection names (e.g. "/sensors") to directories.
+	Mounts map[string]string
+}
+
+// Files lists the regular files of the mounted directory in sorted order.
+func (s *DirSource) Files(collection string) ([]string, error) {
+	dir, ok := s.Mounts[collection]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown collection %q", collection)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: collection %q: %w", collection, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// ReadFile reads one file from disk.
+func (s *DirSource) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// MemSource is an in-memory Source, used by tests.
+type MemSource struct {
+	// Collections maps collection names to named documents.
+	Collections map[string]map[string][]byte
+}
+
+// Files lists the document names of a collection in sorted order.
+func (s *MemSource) Files(collection string) ([]string, error) {
+	docs, ok := s.Collections[collection]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown collection %q", collection)
+	}
+	names := make([]string, 0, len(docs))
+	for n := range docs {
+		names = append(names, collection+"/"+n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile returns a stored document.
+func (s *MemSource) ReadFile(path string) ([]byte, error) {
+	for coll, docs := range s.Collections {
+		prefix := coll + "/"
+		if len(path) > len(prefix) && path[:len(prefix)] == prefix {
+			if b, ok := docs[path[len(prefix):]]; ok {
+				return b, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("runtime: no such document %q", path)
+}
+
+// Stats accumulates per-partition execution statistics.
+type Stats struct {
+	BytesRead      int64
+	FilesRead      int64
+	FilesSkipped   int64 // files pruned by a zone-map index
+	TuplesProduced int64
+	TuplesShuffled int64
+	BytesShuffled  int64
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other *Stats) {
+	s.BytesRead += other.BytesRead
+	s.FilesRead += other.FilesRead
+	s.FilesSkipped += other.FilesSkipped
+	s.TuplesProduced += other.TuplesProduced
+	s.TuplesShuffled += other.TuplesShuffled
+	s.BytesShuffled += other.BytesShuffled
+}
+
+// FileRange is the indexed value range of one file, as reported by a
+// zone-map index (vxq/internal/index).
+type FileRange struct {
+	Min, Max item.Item // nil when the file has no values at the path
+	Count    int64
+}
+
+// IndexLookup resolves per-file zone-map ranges. A nil lookup (or a miss)
+// simply disables file pruning; correctness never depends on it.
+type IndexLookup interface {
+	FileRange(collection string, path jsonparse.Path, file string) (FileRange, bool)
+}
+
+// Ctx is the per-task evaluation context shared by the operators of one
+// partition pipeline.
+type Ctx struct {
+	Source     Source
+	Accountant *frame.Accountant
+	Stats      *Stats
+	FrameSize  int
+	// Indexes provides zone-map lookups for DATASCAN file pruning (may be
+	// nil).
+	Indexes IndexLookup
+}
+
+// NewCtx builds a context with sane defaults.
+func NewCtx(src Source) *Ctx {
+	return &Ctx{
+		Source:     src,
+		Accountant: frame.NewAccountant(0),
+		Stats:      &Stats{},
+		FrameSize:  frame.DefaultFrameSize,
+	}
+}

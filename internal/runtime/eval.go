@@ -1,0 +1,89 @@
+package runtime
+
+import (
+	"fmt"
+
+	"vxq/internal/item"
+)
+
+// Evaluator computes an item sequence from the decoded fields of one tuple.
+type Evaluator interface {
+	// Eval evaluates against the tuple's field sequences.
+	Eval(ctx *Ctx, fields []item.Sequence) (item.Sequence, error)
+}
+
+// ColumnEval reads tuple field Col.
+type ColumnEval struct{ Col int }
+
+// Eval returns the field's sequence.
+func (e ColumnEval) Eval(_ *Ctx, fields []item.Sequence) (item.Sequence, error) {
+	if e.Col < 0 || e.Col >= len(fields) {
+		return nil, fmt.Errorf("runtime: column %d out of range [0,%d)", e.Col, len(fields))
+	}
+	return fields[e.Col], nil
+}
+
+// ConstEval yields a constant sequence.
+type ConstEval struct{ Seq item.Sequence }
+
+// Eval returns the constant.
+func (e ConstEval) Eval(*Ctx, []item.Sequence) (item.Sequence, error) { return e.Seq, nil }
+
+// CallEval applies a scalar function to evaluated arguments.
+type CallEval struct {
+	Fn   *Function
+	Args []Evaluator
+}
+
+// Eval evaluates the arguments then applies the function.
+func (e CallEval) Eval(ctx *Ctx, fields []item.Sequence) (item.Sequence, error) {
+	args := make([]item.Sequence, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.Eval(ctx, fields)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	out, err := e.Fn.Apply(ctx, args)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.Fn.Name, err)
+	}
+	return out, nil
+}
+
+// Function is a scalar (sequence-to-sequence) function.
+type Function struct {
+	Name  string
+	Arity int // -1 = variadic
+	Apply func(ctx *Ctx, args []item.Sequence) (item.Sequence, error)
+}
+
+// functions is the scalar function registry, keyed by name.
+var functions = map[string]*Function{}
+
+func register(f *Function) *Function {
+	if _, dup := functions[f.Name]; dup {
+		panic("runtime: duplicate function " + f.Name)
+	}
+	functions[f.Name] = f
+	return f
+}
+
+// LookupFunction returns the named scalar function.
+func LookupFunction(name string) (*Function, error) {
+	f, ok := functions[name]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown function %q", name)
+	}
+	return f, nil
+}
+
+// MustFunction is LookupFunction for trusted callers.
+func MustFunction(name string) *Function {
+	f, err := LookupFunction(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

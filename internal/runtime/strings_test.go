@@ -1,0 +1,179 @@
+package runtime
+
+import (
+	"testing"
+
+	"vxq/internal/item"
+)
+
+func TestStringFunctions(t *testing.T) {
+	s := func(v string) item.Sequence { return one(item.String(v)) }
+	n := func(v float64) item.Sequence { return one(item.Number(v)) }
+
+	if !item.EqualSeq(evalFn(t, "string", n(42)), s("42")) {
+		t.Error("string(42)")
+	}
+	if !item.EqualSeq(evalFn(t, "string", item.Empty), s("")) {
+		t.Error("string(())")
+	}
+	if !item.EqualSeq(evalFn(t, "string", one(item.Bool(true))), s("true")) {
+		t.Error("string(true)")
+	}
+	if !item.EqualSeq(evalFn(t, "string", one(item.DateTime{Year: 2013, Month: 12, Day: 25})),
+		s("2013-12-25T00:00:00")) {
+		t.Error("string(dateTime)")
+	}
+	if err := evalFnErr(t, "string", one(item.Array{})); err == nil {
+		t.Error("string of array must fail")
+	}
+
+	if !item.EqualSeq(evalFn(t, "concat", s("a"), s("b"), n(1)), s("ab1")) {
+		t.Error("concat")
+	}
+	if !item.EqualSeq(evalFn(t, "string-length", s("héllo")), n(5)) {
+		t.Error("string-length must count runes")
+	}
+	if !item.EqualSeq(evalFn(t, "upper-case", s("TmIn")), s("TMIN")) {
+		t.Error("upper-case")
+	}
+	if !item.EqualSeq(evalFn(t, "lower-case", s("TmIn")), s("tmin")) {
+		t.Error("lower-case")
+	}
+	if !item.EqualSeq(evalFn(t, "contains", s("2013-12-25"), s("-12-")), one(item.Bool(true))) {
+		t.Error("contains")
+	}
+	if !item.EqualSeq(evalFn(t, "starts-with", s("GSW123"), s("GSW")), one(item.Bool(true))) {
+		t.Error("starts-with")
+	}
+	if !item.EqualSeq(evalFn(t, "ends-with", s("GSW123"), s("GSW")), one(item.Bool(false))) {
+		t.Error("ends-with")
+	}
+}
+
+func TestSubstring(t *testing.T) {
+	s := func(v string) item.Sequence { return one(item.String(v)) }
+	n := func(v float64) item.Sequence { return one(item.Number(v)) }
+	cases := []struct {
+		args []item.Sequence
+		want string
+	}{
+		{[]item.Sequence{s("motor car"), n(6)}, " car"},
+		{[]item.Sequence{s("metadata"), n(4), n(3)}, "ada"},
+		{[]item.Sequence{s("12345"), n(0), n(3)}, "12"},  // start clamps per rounding
+		{[]item.Sequence{s("12345"), n(-2), n(5)}, "12"}, // negative start
+		{[]item.Sequence{s("12345"), n(10)}, ""},         // past end
+		{[]item.Sequence{s("héllo"), n(2), n(2)}, "él"},  // rune-based
+	}
+	for i, c := range cases {
+		got := evalFn(t, "substring", c.args...)
+		if !item.EqualSeq(got, s(c.want)) {
+			t.Errorf("case %d: substring = %s, want %q", i, item.JSONSeq(got), c.want)
+		}
+	}
+	if err := evalFnErr(t, "substring", s("x")); err == nil {
+		t.Error("substring with 1 arg must fail")
+	}
+	if err := evalFnErr(t, "substring", s("x"), s("y")); err == nil {
+		t.Error("non-numeric start must fail")
+	}
+}
+
+func TestNumericFunctions(t *testing.T) {
+	n := func(v float64) item.Sequence { return one(item.Number(v)) }
+	if !item.EqualSeq(evalFn(t, "abs", n(-3)), n(3)) {
+		t.Error("abs")
+	}
+	if !item.EqualSeq(evalFn(t, "floor", n(2.7)), n(2)) {
+		t.Error("floor")
+	}
+	if !item.EqualSeq(evalFn(t, "ceiling", n(2.1)), n(3)) {
+		t.Error("ceiling")
+	}
+	if !item.EqualSeq(evalFn(t, "round", n(2.5)), n(3)) {
+		t.Error("round")
+	}
+	if got := evalFn(t, "abs", item.Empty); len(got) != 0 {
+		t.Error("abs of empty is empty")
+	}
+	if err := evalFnErr(t, "abs", one(item.String("x"))); err == nil {
+		t.Error("abs of string must fail")
+	}
+}
+
+func TestExistsEmpty(t *testing.T) {
+	tr, fa := one(item.Bool(true)), one(item.Bool(false))
+	if !item.EqualSeq(evalFn(t, "exists", one(item.Number(1))), tr) {
+		t.Error("exists(1)")
+	}
+	if !item.EqualSeq(evalFn(t, "exists", item.Empty), fa) {
+		t.Error("exists(())")
+	}
+	if !item.EqualSeq(evalFn(t, "empty", item.Empty), tr) {
+		t.Error("empty(())")
+	}
+}
+
+func TestMinMaxScalar(t *testing.T) {
+	seq := item.Sequence{item.Number(3), item.Number(-1), item.Number(7)}
+	if !item.EqualSeq(evalFn(t, "min", seq), one(item.Number(-1))) {
+		t.Error("min")
+	}
+	if !item.EqualSeq(evalFn(t, "max", seq), one(item.Number(7))) {
+		t.Error("max")
+	}
+	strSeq := item.Sequence{item.String("b"), item.String("a")}
+	if !item.EqualSeq(evalFn(t, "min", strSeq), one(item.String("a"))) {
+		t.Error("min of strings")
+	}
+	if got := evalFn(t, "min", item.Empty); len(got) != 0 {
+		t.Error("min of empty is empty")
+	}
+	mixed := item.Sequence{item.Number(1), item.String("a")}
+	if err := evalFnErr(t, "min", mixed); err == nil {
+		t.Error("mixed kinds must fail")
+	}
+}
+
+func TestAggMinMax(t *testing.T) {
+	mn := MustAgg("agg-min").New()
+	mx := MustAgg("agg-max").New()
+	for _, v := range []float64{5, -2, 9, 0} {
+		if err := mn.Step(one(item.Number(v))); err != nil {
+			t.Fatal(err)
+		}
+		if err := mx.Step(one(item.Number(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := mn.Finish(); !item.EqualSeq(got, one(item.Number(-2))) {
+		t.Errorf("agg-min = %s", item.JSONSeq(got))
+	}
+	if got, _ := mx.Finish(); !item.EqualSeq(got, one(item.Number(9))) {
+		t.Errorf("agg-max = %s", item.JSONSeq(got))
+	}
+	// Empty input yields empty.
+	if got, _ := MustAgg("agg-min").New().Finish(); len(got) != 0 {
+		t.Error("agg-min of nothing is empty")
+	}
+	// Two-step: min of local minima equals the global minimum.
+	l1, l2 := MustAgg("agg-min").New(), MustAgg("agg-min").New()
+	l1.Step(one(item.Number(4)))
+	l2.Step(one(item.Number(2)))
+	p1, _ := l1.Finish()
+	p2, _ := l2.Finish()
+	g := MustAgg("agg-min").New()
+	g.Step(p1)
+	g.Step(p2)
+	if got, _ := g.Finish(); !item.EqualSeq(got, one(item.Number(2))) {
+		t.Errorf("two-step agg-min = %s", item.JSONSeq(got))
+	}
+	// Mixed kinds error.
+	bad := MustAgg("agg-max").New()
+	bad.Step(one(item.Number(1)))
+	if err := bad.Step(one(item.String("x"))); err == nil {
+		t.Error("mixed kinds must fail")
+	}
+	if bad.Size() <= 0 {
+		t.Error("state size")
+	}
+}

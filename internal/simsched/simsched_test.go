@@ -1,0 +1,193 @@
+package simsched
+
+import (
+	"testing"
+	"time"
+
+	"vxq/internal/hyracks"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestNodeWallSinglePartition(t *testing.T) {
+	m := Model{CoresPerNode: 4}
+	if got := m.NodeWall([]time.Duration{ms(100)}); got != ms(100) {
+		t.Errorf("wall = %v, want 100ms", got)
+	}
+	if got := m.NodeWall(nil); got != 0 {
+		t.Errorf("empty wall = %v", got)
+	}
+}
+
+func TestNodeWallScalesWithCores(t *testing.T) {
+	m := Model{CoresPerNode: 4}
+	// 4 equal partitions on 4 cores: wall = one partition.
+	works := []time.Duration{ms(100), ms(100), ms(100), ms(100)}
+	if got := m.NodeWall(works); got != ms(100) {
+		t.Errorf("4 partitions / 4 cores = %v, want 100ms", got)
+	}
+	// 2 partitions on 4 cores: wall = one partition (bounded by longest).
+	if got := m.NodeWall(works[:2]); got != ms(100) {
+		t.Errorf("2 partitions = %v, want 100ms", got)
+	}
+	// Straggler dominates.
+	if got := m.NodeWall([]time.Duration{ms(400), ms(10), ms(10), ms(10)}); got != ms(400) {
+		t.Errorf("straggler wall = %v, want 400ms", got)
+	}
+}
+
+func TestHyperthreadingPlateau(t *testing.T) {
+	// The Fig. 17 shape: speedup up to 4 partitions, none (slightly worse)
+	// at 8.
+	m := Model{CoresPerNode: 4, OversubscribePenalty: 0.06}
+	total := ms(8000)
+	wallOf := func(parts int) time.Duration {
+		works := make([]time.Duration, parts)
+		for i := range works {
+			works[i] = total / time.Duration(parts)
+		}
+		return m.NodeWall(works)
+	}
+	w1, w2, w4, w8 := wallOf(1), wallOf(2), wallOf(4), wallOf(8)
+	if !(w1 > w2 && w2 > w4) {
+		t.Errorf("expected speedup 1->2->4: %v %v %v", w1, w2, w4)
+	}
+	if w8 <= w4 {
+		t.Errorf("8 partitions must not beat 4 on 4 cores: w4=%v w8=%v", w4, w8)
+	}
+	if float64(w8) > float64(w4)*1.2 {
+		t.Errorf("8 partitions should be only slightly worse: w4=%v w8=%v", w4, w8)
+	}
+	// Near-linear speedup 1 -> 4.
+	if ratio := float64(w1) / float64(w4); ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("speedup 1->4 = %.2f, want ~4", ratio)
+	}
+}
+
+func TestZeroCoresDefaultsToOne(t *testing.T) {
+	m := Model{}
+	if got := m.NodeWall([]time.Duration{ms(10), ms(10)}); got != ms(20) {
+		t.Errorf("wall = %v, want 20ms (1 core)", got)
+	}
+}
+
+func TestStageWallSlowestNode(t *testing.T) {
+	m := Model{CoresPerNode: 2}
+	perNode := [][]time.Duration{
+		{ms(10), ms(10)},
+		{ms(50)},
+		{ms(5)},
+	}
+	if got := m.StageWall(perNode); got != ms(50) {
+		t.Errorf("stage wall = %v, want 50ms", got)
+	}
+}
+
+func TestPlacementRoundRobin(t *testing.T) {
+	got := Placement(8, 3)
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("placement = %v", got)
+		}
+	}
+	if p := Placement(2, 0); p[0] != 0 || p[1] != 0 {
+		t.Errorf("zero nodes should place everything on node 0: %v", p)
+	}
+}
+
+func fakeJobAndResult(fragments, partitions int, perTask time.Duration, shuffled int64) (*hyracks.Job, *hyracks.Result) {
+	job := &hyracks.Job{}
+	res := &hyracks.Result{}
+	for f := 0; f < fragments; f++ {
+		sink := -1
+		if f < fragments-1 {
+			sink = f
+		}
+		job.Fragments = append(job.Fragments, &hyracks.Fragment{
+			ID: f, Source: hyracks.ETSSource{}, Partitions: partitions, SinkExchange: sink,
+		})
+		for p := 0; p < partitions; p++ {
+			res.Tasks = append(res.Tasks, hyracks.TaskTime{Fragment: f, Partition: p, Elapsed: perTask})
+		}
+	}
+	res.Stats.BytesShuffled = shuffled
+	return job, res
+}
+
+func TestJobWallClusterSpeedup(t *testing.T) {
+	// Fixed total work split over nodes*4 partitions: more nodes => faster.
+	m := Model{CoresPerNode: 4}
+	var prev time.Duration
+	for _, nodes := range []int{1, 2, 4, 8} {
+		parts := nodes * 4
+		perTask := time.Duration(int64(ms(8000)) / int64(parts))
+		job, res := fakeJobAndResult(1, parts, perTask, 0)
+		wall, err := m.JobWall(job, res, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != 0 && wall >= prev {
+			t.Errorf("nodes=%d wall=%v not faster than %v", nodes, wall, prev)
+		}
+		prev = wall
+	}
+}
+
+func TestJobWallScaleupFlat(t *testing.T) {
+	// Per-node work constant: wall should stay flat as nodes grow.
+	m := Model{CoresPerNode: 4}
+	var base time.Duration
+	for _, nodes := range []int{1, 3, 9} {
+		parts := nodes * 4
+		job, res := fakeJobAndResult(1, parts, ms(100), 0)
+		wall, err := m.JobWall(job, res, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == 0 {
+			base = wall
+			continue
+		}
+		if wall != base {
+			t.Errorf("scale-up not flat: nodes=%d wall=%v base=%v", nodes, wall, base)
+		}
+	}
+}
+
+func TestJobWallNetworkCost(t *testing.T) {
+	m := Model{CoresPerNode: 4, NetworkBytesPerSec: 1 << 20}
+	job, res := fakeJobAndResult(2, 4, ms(10), 8<<20)
+	w1, err := m.JobWall(job, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := m.JobWall(job, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single node pays no network; two nodes do.
+	if w2 <= w1/2 {
+		t.Errorf("network cost missing: w1=%v w2=%v", w1, w2)
+	}
+}
+
+func TestJobWallErrors(t *testing.T) {
+	m := DefaultModel()
+	job, res := fakeJobAndResult(1, 2, ms(10), 0)
+	if _, err := m.JobWall(job, res, 0); err == nil {
+		t.Error("zero nodes must fail")
+	}
+	// Missing measurements.
+	res.Tasks = nil
+	if _, err := m.JobWall(job, res, 1); err == nil {
+		t.Error("missing task measurements must fail")
+	}
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	m := DefaultModel()
+	if m.CoresPerNode != 4 || m.OversubscribePenalty <= 0 || m.NetworkBytesPerSec <= 0 {
+		t.Errorf("default model = %+v", m)
+	}
+}

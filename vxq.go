@@ -1,0 +1,243 @@
+// Package vxq is a parallel and scalable processor for JSON data: a Go
+// reproduction of "A Parallel and Scalable Processor for JSON Data"
+// (Pavlopoulou et al., EDBT 2018), which extended Apache VXQuery with the
+// JSONiq extension to XQuery and three categories of rewrite rules so that
+// raw JSON files can be queried on the fly — no load phase, no
+// pre-processing — with pipelined, partitioned-parallel execution and a
+// small memory footprint.
+//
+// The engine stack mirrors the paper's (Fig. 1): a Hyracks-like dataflow
+// engine at the bottom (frames of serialized tuples, push-based operators,
+// exchange connectors), an Algebricks-like algebra layer in the middle
+// (logical plans, rewrite rules to fixpoint, physical compilation), and the
+// JSONiq front end with the paper's rule categories on top:
+//
+//   - path expression rules (§4.1): unnesting is merged with
+//     keys-or-members so items stream one at a time;
+//   - pipelining rules (§4.2): collection access becomes a DATASCAN whose
+//     second argument — a projection path — is applied *while parsing*, so
+//     only matching objects are ever materialized, and execution becomes
+//     partitioned-parallel;
+//   - group-by rules (§4.3): scalar aggregates over grouped sequences are
+//     converted to incremental aggregates and pushed into the GROUP-BY,
+//     enabling two-step (local/global) parallel aggregation.
+//
+// # Quick start
+//
+//	eng := vxq.New(vxq.Options{Partitions: 4})
+//	eng.Mount("/sensors", "/data/sensors")  // a directory of JSON files
+//	res, err := eng.Query(`
+//	    for $r in collection("/sensors")("root")()("results")()
+//	    where $r("dataType") eq "TMIN"
+//	    group by $date := $r("date")
+//	    return count($r("station"))`)
+//	if err != nil { ... }
+//	for _, it := range res.Items { fmt.Println(vxq.JSON(it)) }
+package vxq
+
+import (
+	"fmt"
+
+	"vxq/internal/core"
+	"vxq/internal/frame"
+	"vxq/internal/hyracks"
+	"vxq/internal/index"
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+	"vxq/internal/runtime"
+)
+
+// Item is a value of the JSONiq data model (object, array, string, number,
+// boolean, null, or dateTime).
+type Item = item.Item
+
+// Sequence is an ordered sequence of items, the value domain of JSONiq
+// expressions.
+type Sequence = item.Sequence
+
+// JSON renders an item as canonical JSON text.
+func JSON(it Item) string { return item.JSON(it) }
+
+// Options configures an Engine.
+type Options struct {
+	// Partitions is the degree of partitioned parallelism for collection
+	// scans (the paper uses one partition per core). Default 1.
+	Partitions int
+	// DisablePathRules turns off the path expression rules (§4.1).
+	DisablePathRules bool
+	// DisablePipeliningRules turns off the pipelining rules (§4.2).
+	DisablePipeliningRules bool
+	// DisableGroupByRules turns off the group-by rules (§4.3).
+	DisableGroupByRules bool
+	// FrameSize is the dataflow frame capacity in bytes (default 32 KiB).
+	FrameSize int
+	// MemoryLimit bounds the engine's accounted memory in bytes
+	// (0 = unlimited). Exceeding it does not abort execution; it is
+	// reported through Result.PeakMemory versus the limit.
+	MemoryLimit int64
+	// Staged selects the staged executor (sequential, per-task timing)
+	// instead of the default pipelined (goroutine) executor. Results are
+	// identical.
+	Staged bool
+}
+
+func (o Options) ruleConfig() core.RuleConfig {
+	return core.RuleConfig{
+		PathRules:       !o.DisablePathRules,
+		PipeliningRules: !o.DisablePipeliningRules,
+		GroupByRules:    !o.DisableGroupByRules,
+	}
+}
+
+// Engine compiles and executes JSONiq queries over mounted collections of
+// raw JSON files.
+type Engine struct {
+	opts    Options
+	mounts  map[string]string
+	docs    map[string]map[string][]byte
+	indexes *index.Registry
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	if opts.Partitions <= 0 {
+		opts.Partitions = 1
+	}
+	return &Engine{
+		opts:    opts,
+		mounts:  map[string]string{},
+		docs:    map[string]map[string][]byte{},
+		indexes: index.NewRegistry(),
+	}
+}
+
+// Mount registers a directory of JSON files as a collection, addressable
+// from queries as collection(name).
+func (e *Engine) Mount(name, dir string) { e.mounts[name] = dir }
+
+// MountDocs registers an in-memory set of documents as a collection.
+func (e *Engine) MountDocs(name string, docs map[string][]byte) { e.docs[name] = docs }
+
+// BuildIndex builds a zone-map (per-file min/max) index over a scalar path
+// of a collection, written in JSONiq postfix syntax, e.g.
+//
+//	eng.BuildIndex("/sensors", `("root")()("results")()("date")`)
+//
+// Queries whose selections bound that path with constant comparisons then
+// skip files whose value range cannot match — the paper's §6 future-work
+// direction. The index reflects the collection at build time; rebuild it
+// after the underlying files change.
+func (e *Engine) BuildIndex(collection, path string) error {
+	p, err := jsonparse.ParsePath(path)
+	if err != nil {
+		return err
+	}
+	zm, err := index.Build(e.source(), collection, p)
+	if err != nil {
+		return err
+	}
+	e.indexes.Add(zm)
+	return nil
+}
+
+// source builds the engine's data source view.
+func (e *Engine) source() runtime.Source {
+	return &compositeSource{
+		dirs: &runtime.DirSource{Mounts: e.mounts},
+		mem:  &runtime.MemSource{Collections: e.docs},
+	}
+}
+
+type compositeSource struct {
+	dirs *runtime.DirSource
+	mem  *runtime.MemSource
+}
+
+func (s *compositeSource) Files(collection string) ([]string, error) {
+	if _, ok := s.dirs.Mounts[collection]; ok {
+		return s.dirs.Files(collection)
+	}
+	return s.mem.Files(collection)
+}
+
+func (s *compositeSource) ReadFile(path string) ([]byte, error) {
+	if b, err := s.mem.ReadFile(path); err == nil {
+		return b, nil
+	}
+	return s.dirs.ReadFile(path)
+}
+
+// Result is a query's outcome.
+type Result struct {
+	// Items is the result sequence, one item per result tuple, in a
+	// deterministic (sorted) order.
+	Items []Item
+	// Stats are the execution statistics (bytes read, tuples produced,
+	// bytes shuffled between partitions, ...).
+	Stats runtime.Stats
+	// PeakMemory is the engine's accounted memory high-water mark.
+	PeakMemory int64
+	// OriginalPlan and OptimizedPlan are the logical plans before and
+	// after the rewrite rules.
+	OriginalPlan, OptimizedPlan string
+	// PhysicalPlan is the compiled Hyracks job.
+	PhysicalPlan string
+}
+
+// Query compiles and executes a JSONiq query.
+func (e *Engine) Query(query string) (*Result, error) {
+	compiled, err := e.compile(query)
+	if err != nil {
+		return nil, err
+	}
+	env := &hyracks.Env{
+		Source:     e.source(),
+		FrameSize:  e.opts.FrameSize,
+		Accountant: frame.NewAccountant(e.opts.MemoryLimit),
+		Indexes:    e.indexes,
+	}
+	var res *hyracks.Result
+	if e.opts.Staged {
+		res, err = hyracks.RunStaged(compiled.Job, env)
+	} else {
+		res, err = hyracks.RunPipelined(compiled.Job, env)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Canonical order for determinism — unless the query itself orders its
+	// result, in which case that order is preserved.
+	if !compiled.Ordered {
+		res.SortRows()
+	}
+	out := &Result{
+		Stats:         res.Stats,
+		PeakMemory:    res.PeakMemory,
+		OriginalPlan:  compiled.OriginalPlan,
+		OptimizedPlan: compiled.OptimizedPlan,
+		PhysicalPlan:  compiled.Job.String(),
+	}
+	for _, row := range res.Rows {
+		if len(row) != 1 {
+			return nil, fmt.Errorf("vxq: internal error: result tuple with %d fields", len(row))
+		}
+		out.Items = append(out.Items, row[0]...)
+	}
+	return out, nil
+}
+
+// Explain compiles a query and returns its plans without executing it.
+func (e *Engine) Explain(query string) (original, optimized, physical string, err error) {
+	compiled, err := e.compile(query)
+	if err != nil {
+		return "", "", "", err
+	}
+	return compiled.OriginalPlan, compiled.OptimizedPlan, compiled.Job.String(), nil
+}
+
+func (e *Engine) compile(query string) (*core.Compiled, error) {
+	return core.CompileQuery(query, core.Options{
+		Rules:      e.opts.ruleConfig(),
+		Partitions: e.opts.Partitions,
+	})
+}
