@@ -73,26 +73,32 @@ func (s *System) Load(collection string) error {
 		return err
 	}
 	store := map[string][]byte{}
+	rootMembers := jsonparse.Path{jsonparse.KeyStep("root"), jsonparse.MembersStep()}
 	for _, f := range files {
-		raw, err := s.src.ReadFile(f)
-		if err != nil {
-			return err
-		}
-		doc, err := jsonparse.Parse(raw)
+		rc, err := s.src.Open(f)
 		if err != nil {
 			return fmt.Errorf("asterixsim: %s: %w", f, err)
 		}
-		members := jsonparse.ApplyPath(doc, jsonparse.Path{
-			jsonparse.KeyStep("root"), jsonparse.MembersStep(),
-		})
-		for i, m := range members {
-			// Wrap each record back into the root shape so the paper's
-			// queries run unchanged against the loaded dataset.
-			wrapped := item.ObjectFromPairs("root", item.Array{m})
-			blob := item.Encode(nil, wrapped)
-			store[fmt.Sprintf("%s#%06d", f, i)] = blob
-			s.StorageBytes += int64(len(blob))
-			s.DocumentsLoaded++
+		// Stream the conversion: one root member is materialized, wrapped
+		// back into the root shape (so the paper's queries run unchanged
+		// against the loaded dataset), binary-encoded, and released before
+		// the next one is parsed.
+		i := 0
+		err = jsonparse.ProjectReader(rc, jsonparse.DefaultChunkSize, rootMembers,
+			func(m item.Item) error {
+				wrapped := item.ObjectFromPairs("root", item.Array{m})
+				blob := item.Encode(nil, wrapped)
+				store[fmt.Sprintf("%s#%06d", f, i)] = blob
+				s.StorageBytes += int64(len(blob))
+				s.DocumentsLoaded++
+				i++
+				return nil
+			})
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("asterixsim: %s: %w", f, err)
 		}
 	}
 	s.admStore = &runtime.MemSource{Collections: map[string]map[string][]byte{collection: store}}

@@ -55,34 +55,34 @@ type Store struct {
 // array becomes one document (the "unwrapped" layout of §5.3; the number of
 // measurements per document is a property of the generated data). Each
 // document is serialized and flate-compressed individually, like MongoDB's
-// per-document block compression.
+// per-document block compression. Files stream through a fixed chunk
+// buffer; only one root member is materialized at a time.
 func Load(src runtime.Source, collection string) (*Store, error) {
 	files, err := src.Files(collection)
 	if err != nil {
 		return nil, err
 	}
+	rootMembers := jsonparse.Path{jsonparse.KeyStep("root"), jsonparse.MembersStep()}
 	st := &Store{}
 	for _, f := range files {
-		raw, err := src.ReadFile(f)
-		if err != nil {
-			return nil, err
-		}
-		doc, err := jsonparse.Parse(raw)
+		rc, err := src.Open(f)
 		if err != nil {
 			return nil, fmt.Errorf("mongosim: %s: %w", f, err)
 		}
-		root, _ := doc.(*item.Object)
-		if root == nil || root.Value("root") == nil {
+		members := 0
+		err = jsonparse.ProjectReader(rc, jsonparse.DefaultChunkSize, rootMembers,
+			func(m item.Item) error {
+				members++
+				return st.insert(m)
+			})
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mongosim: %s: %w", f, err)
+		}
+		if members == 0 {
 			return nil, fmt.Errorf("mongosim: %s: missing root array", f)
-		}
-		members, ok := root.Value("root").(item.Array)
-		if !ok {
-			return nil, fmt.Errorf("mongosim: %s: root is not an array", f)
-		}
-		for _, m := range members {
-			if err := st.insert(m); err != nil {
-				return nil, err
-			}
 		}
 	}
 	return st, nil

@@ -67,74 +67,86 @@ func Load(src runtime.Source, collection string, cfg Config) (*Table, error) {
 		jsonparse.KeyStep("results"), jsonparse.MembersStep(),
 	}
 
-	// Pass 1: schema inference over the whole input.
+	// Pass 1: schema inference, streaming over the whole input.
 	fields := map[string]bool{}
 	for _, f := range files {
-		raw, err := src.ReadFile(f)
-		if err != nil {
-			return nil, err
-		}
-		t.RawBytes += int64(len(raw))
-		doc, err := jsonparse.Parse(raw)
+		rc, err := src.Open(f)
 		if err != nil {
 			return nil, fmt.Errorf("sparksim: %s: %w", f, err)
 		}
-		for _, m := range jsonparse.ApplyPath(doc, path) {
-			if mo, ok := m.(*item.Object); ok {
-				for _, k := range mo.Keys() {
-					fields[k] = true
+		cr := &runtime.CountingReader{R: rc}
+		err = jsonparse.ProjectReader(cr, jsonparse.DefaultChunkSize, path,
+			func(m item.Item) error {
+				if mo, ok := m.(*item.Object); ok {
+					for _, k := range mo.Keys() {
+						fields[k] = true
+					}
 				}
-			}
+				return nil
+			})
+		if cerr := rc.Close(); err == nil {
+			err = cerr
 		}
+		if err != nil {
+			return nil, fmt.Errorf("sparksim: %s: %w", f, err)
+		}
+		t.RawBytes += cr.N
 	}
 	for k := range fields {
 		t.Schema = append(t.Schema, k)
 	}
 
-	// Pass 2: parse again and materialize the rows.
+	// Pass 2: stream again and materialize the rows.
 	for _, f := range files {
-		raw, err := src.ReadFile(f)
-		if err != nil {
-			return nil, err
-		}
-		doc, err := jsonparse.Parse(raw)
+		rc, err := src.Open(f)
 		if err != nil {
 			return nil, fmt.Errorf("sparksim: %s: %w", f, err)
 		}
-		for _, m := range jsonparse.ApplyPath(doc, path) {
-			mo, ok := m.(*item.Object)
-			if !ok {
-				continue
-			}
-			// Box the row like a generic DataFrame Row (per-field objects),
-			// then keep the flat struct for query execution.
-			boxed := make(item.Sequence, 0, len(t.Schema))
-			for _, k := range t.Schema {
-				if v := mo.Value(k); v != nil {
-					boxed = append(boxed, v)
-				} else {
-					boxed = append(boxed, item.Null{})
+		err = jsonparse.ProjectReader(rc, jsonparse.DefaultChunkSize, path,
+			func(m item.Item) error {
+				mo, ok := m.(*item.Object)
+				if !ok {
+					return nil
 				}
+				// Box the row like a generic DataFrame Row (per-field
+				// objects), then keep the flat struct for query execution.
+				boxed := make(item.Sequence, 0, len(t.Schema))
+				for _, k := range t.Schema {
+					if v := mo.Value(k); v != nil {
+						boxed = append(boxed, v)
+					} else {
+						boxed = append(boxed, item.Null{})
+					}
+				}
+				row := Row{}
+				if s, ok := mo.Value("date").(item.String); ok {
+					row.Date = string(s)
+				}
+				if s, ok := mo.Value("dataType").(item.String); ok {
+					row.DataType = string(s)
+				}
+				if s, ok := mo.Value("station").(item.String); ok {
+					row.Station = string(s)
+				}
+				if n, ok := mo.Value("value").(item.Number); ok {
+					row.Value = float64(n)
+				}
+				t.Rows = append(t.Rows, row)
+				t.MemoryBytes += item.SizeBytesSeq(boxed) + RowOverheadBytes
+				if cfg.MemoryLimitBytes > 0 && t.MemoryBytes > cfg.MemoryLimitBytes {
+					return fmt.Errorf("%w: %d bytes > %d limit", ErrOutOfMemory,
+						t.MemoryBytes, cfg.MemoryLimitBytes)
+				}
+				return nil
+			})
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			if errors.Is(err, ErrOutOfMemory) {
+				return nil, err
 			}
-			row := Row{}
-			if s, ok := mo.Value("date").(item.String); ok {
-				row.Date = string(s)
-			}
-			if s, ok := mo.Value("dataType").(item.String); ok {
-				row.DataType = string(s)
-			}
-			if s, ok := mo.Value("station").(item.String); ok {
-				row.Station = string(s)
-			}
-			if n, ok := mo.Value("value").(item.Number); ok {
-				row.Value = float64(n)
-			}
-			t.Rows = append(t.Rows, row)
-			t.MemoryBytes += item.SizeBytesSeq(boxed) + RowOverheadBytes
-			if cfg.MemoryLimitBytes > 0 && t.MemoryBytes > cfg.MemoryLimitBytes {
-				return nil, fmt.Errorf("%w: %d bytes > %d limit", ErrOutOfMemory,
-					t.MemoryBytes, cfg.MemoryLimitBytes)
-			}
+			return nil, fmt.Errorf("sparksim: %s: %w", f, err)
 		}
 	}
 	return t, nil

@@ -1,9 +1,10 @@
 package hyracks
 
 import (
-	"time"
-
 	"fmt"
+	"io"
+	"sort"
+	"time"
 
 	"vxq/internal/frame"
 	"vxq/internal/item"
@@ -16,6 +17,9 @@ type Env struct {
 	Source     runtime.Source
 	FrameSize  int
 	Accountant *frame.Accountant
+	// ChunkSize is the refill-buffer size of streaming scans
+	// (jsonparse.DefaultChunkSize when <= 0).
+	ChunkSize int
 	// Indexes provides zone-map lookups for DATASCAN file pruning (may be
 	// nil).
 	Indexes runtime.IndexLookup
@@ -59,41 +63,16 @@ func (r *Result) SortRows() {
 }
 
 func sortRows(rows [][]item.Sequence) {
-	less := func(a, b []item.Sequence) bool {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
 		n := min(len(a), len(b))
-		for i := 0; i < n; i++ {
-			if c := item.CompareSeq(a[i], b[i]); c != 0 {
+		for k := 0; k < n; k++ {
+			if c := item.CompareSeq(a[k], b[k]); c != 0 {
 				return c < 0
 			}
 		}
 		return len(a) < len(b)
-	}
-	// Insertion-stable sort via sort.Slice equivalent without importing
-	// sort at every call site.
-	quickSortRows(rows, less)
-}
-
-func quickSortRows(rows [][]item.Sequence, less func(a, b []item.Sequence) bool) {
-	if len(rows) < 2 {
-		return
-	}
-	pivot := rows[len(rows)/2]
-	left, right := 0, len(rows)-1
-	for left <= right {
-		for less(rows[left], pivot) {
-			left++
-		}
-		for less(pivot, rows[right]) {
-			right--
-		}
-		if left <= right {
-			rows[left], rows[right] = rows[right], rows[left]
-			left++
-			right--
-		}
-	}
-	quickSortRows(rows[:right+1], less)
-	quickSortRows(rows[left:], less)
+	})
 }
 
 // --- task plumbing shared by both executors --------------------------------
@@ -229,7 +208,9 @@ func feedSource(ctx *TaskCtx, f *Fragment, w Writer, in sourceInput) error {
 }
 
 // runScan reads this partition's share of the collection's files and emits
-// one single-field tuple per projected item.
+// one single-field tuple per projected item. Raw JSON files stream through
+// a fixed chunk buffer (charged to the accountant), so scan memory is
+// O(chunk + emitted item), independent of the file size.
 func runScan(ctx *TaskCtx, s ScanSource, partitions int, w Writer) error {
 	if ctx.RT == nil || ctx.RT.Source == nil {
 		return fmt.Errorf("hyracks: scan without a data source")
@@ -250,7 +231,39 @@ func runScan(ctx *TaskCtx, s ScanSource, partitions int, w Writer) error {
 				}
 			}
 		}
-		raw, err := ctx.RT.Source.ReadFile(files[i])
+		if err := scanFile(ctx, s, files[i], b); err != nil {
+			return fmt.Errorf("%s: %w", files[i], err)
+		}
+	}
+	return b.flush()
+}
+
+// scanFile streams one file's projected items into the frame builder. Every
+// error it returns is wrapped with the file path by the caller.
+func scanFile(ctx *TaskCtx, s ScanSource, file string, b *frameBuilder) error {
+	emit := func(it item.Item) error {
+		if st := ctx.RT.Stats; st != nil {
+			st.TuplesProduced++
+		}
+		release := ctx.account(item.SizeBytes(it))
+		err := b.emit([][]byte{item.EncodeSeq(nil, item.Single(it))})
+		release()
+		return err
+	}
+	switch s.Format {
+	case FormatADM:
+		// Binary pre-converted document: materialize fully, then apply the
+		// path (no streaming benefit — the AsterixDB behaviour the paper
+		// attributes the performance gap to). This is the one deliberate
+		// whole-file read left on a scan path.
+		rc, err := ctx.RT.Source.Open(file)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(rc)
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -258,40 +271,40 @@ func runScan(ctx *TaskCtx, s ScanSource, partitions int, w Writer) error {
 			st.BytesRead += int64(len(raw))
 			st.FilesRead++
 		}
-		emit := func(it item.Item) error {
-			if st := ctx.RT.Stats; st != nil {
-				st.TuplesProduced++
-			}
-			release := ctx.account(item.SizeBytes(it))
-			err := b.emit([][]byte{item.EncodeSeq(nil, item.Single(it))})
-			release()
+		doc, used, err := item.Decode(raw)
+		if err != nil {
 			return err
 		}
-		switch s.Format {
-		case FormatADM:
-			// Binary pre-converted document: materialize fully, then apply
-			// the path (no streaming benefit — the AsterixDB behaviour the
-			// paper attributes the performance gap to).
-			doc, used, err := item.Decode(raw)
-			if err != nil {
-				return fmt.Errorf("%s: %w", files[i], err)
-			}
-			if used != len(raw) {
-				return fmt.Errorf("%s: %d trailing bytes in ADM document", files[i], len(raw)-used)
-			}
-			release := ctx.account(item.SizeBytes(doc))
-			for _, it := range jsonparse.ApplyPath(doc, s.Project) {
-				if err := emit(it); err != nil {
-					release()
-					return err
-				}
-			}
-			release()
-		default:
-			if err := jsonparse.Project(raw, s.Project, emit); err != nil {
-				return fmt.Errorf("%s: %w", files[i], err)
+		if used != len(raw) {
+			return fmt.Errorf("%d trailing bytes in ADM document", len(raw)-used)
+		}
+		release := ctx.account(item.SizeBytes(doc))
+		defer release()
+		for _, it := range jsonparse.ApplyPath(doc, s.Project) {
+			if err := emit(it); err != nil {
+				return err
 			}
 		}
+		return nil
+	default:
+		rc, err := ctx.RT.Source.Open(file)
+		if err != nil {
+			return err
+		}
+		if st := ctx.RT.Stats; st != nil {
+			st.FilesRead++
+		}
+		chunk := ctx.RT.ScanChunkSize()
+		cr := &runtime.CountingReader{R: rc}
+		release := ctx.account(int64(chunk))
+		err = jsonparse.ProjectReader(cr, chunk, s.Project, emit)
+		release()
+		if st := ctx.RT.Stats; st != nil {
+			st.BytesRead += cr.N
+		}
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	}
-	return b.flush()
 }

@@ -1,6 +1,7 @@
 package hyracks
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -82,6 +83,7 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 					Accountant: acct,
 					Stats:      &runtime.Stats{},
 					FrameSize:  env.FrameSize,
+					ChunkSize:  env.ChunkSize,
 					Indexes:    env.Indexes,
 				}
 				ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize}
@@ -127,7 +129,10 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 				res.Tasks = append(res.Tasks, TaskTime{Fragment: f.ID, Partition: p, Elapsed: elapsed})
 				res.Stats.Add(rt.Stats)
 				mu.Unlock()
-				if err != nil && err != errStopped {
+				// A task torn down after another task's failure may surface
+				// errStopped wrapped with scan context (e.g. a file path);
+				// only genuine first failures are reported.
+				if err != nil && !errors.Is(err, errStopped) {
 					fail(err)
 				}
 			}()

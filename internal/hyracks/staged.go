@@ -31,6 +31,7 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 				Accountant: acct,
 				Stats:      &runtime.Stats{},
 				FrameSize:  env.FrameSize,
+				ChunkSize:  env.ChunkSize,
 				Indexes:    env.Indexes,
 			}
 			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize}

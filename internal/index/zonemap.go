@@ -53,16 +53,16 @@ func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap
 		Files:      make(map[string]FileStats, len(files)),
 	}
 	for _, f := range files {
-		raw, err := src.ReadFile(f)
+		rc, err := src.Open(f)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("index: %s: %w", f, err)
 		}
 		var st FileStats
-		err = jsonparse.Project(raw, path, func(it item.Item) error {
+		err = jsonparse.ProjectReader(rc, jsonparse.DefaultChunkSize, path, func(it item.Item) error {
 			switch it.Kind() {
 			case item.KindObject, item.KindArray:
-				return fmt.Errorf("index: path %s yields a %s in %s; zone maps index scalar paths",
-					path, it.Kind(), f)
+				return fmt.Errorf("path %s yields a %s; zone maps index scalar paths",
+					path, it.Kind())
 			}
 			if st.Count == 0 {
 				st.Min, st.Max = it, it
@@ -77,8 +77,11 @@ func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap
 			st.Count++
 			return nil
 		})
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("index: %s: %w", f, err)
 		}
 		zm.Files[f] = st
 	}

@@ -5,10 +5,16 @@
 // projector is the mechanism behind the DATASCAN operator's second argument
 // (§4.2 of the paper): it is what lets the engine forward one small object
 // at a time instead of whole files.
+//
+// The tokenizer reads through a fixed-size refillable chunk buffer, so a
+// document streamed from an io.Reader is never materialized: peak memory is
+// O(chunk size), not O(file size). Token values (Str, Num) remain valid
+// across buffer refills, and error offsets are absolute file offsets.
 package jsonparse
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"strconv"
 	"unicode/utf8"
@@ -64,11 +70,32 @@ func (k TokenKind) String() string {
 	}
 }
 
-// Lexer tokenizes a JSON document held in memory. It is zero-allocation for
-// structural tokens and unescaped strings.
+// DefaultChunkSize is the default capacity of a streaming lexer's refill
+// buffer (and the read granularity of the reader-based Parse/Project entry
+// points). It is the unit charged to the memory accountant by streaming
+// scans.
+const DefaultChunkSize = 64 << 10
+
+// minChunkSize bounds the chunk buffer from below: the lexer needs a few
+// bytes of contiguous lookahead (the "false" literal, \uXXXX escapes with a
+// surrogate-pair peek), and compaction must always be able to retain them.
+const minChunkSize = 64
+
+// Lexer tokenizes a JSON document, either held fully in memory or streamed
+// from an io.Reader through a fixed-size chunk buffer. It is
+// zero-allocation for structural tokens and for unescaped strings that do
+// not span a refill boundary.
 type Lexer struct {
-	data []byte
-	pos  int
+	r    io.Reader // nil when the whole input is in buf
+	buf  []byte    // chunk buffer (the whole input for slice lexers)
+	pos  int       // cursor into buf[:end]
+	end  int       // number of valid bytes in buf
+	base int64     // absolute file offset of buf[0]
+	eof  bool      // no bytes exist beyond buf[:end]
+
+	// scratch accumulates the bytes of a token that spans refills (or
+	// contains escapes); it is reused across tokens.
+	scratch []byte
 
 	// Current token state, valid after Next.
 	Kind TokenKind
@@ -78,36 +105,119 @@ type Lexer struct {
 	Num float64
 }
 
-// NewLexer returns a lexer over data.
-func NewLexer(data []byte) *Lexer { return &Lexer{data: data} }
-
-// Offset reports the byte offset of the lexer cursor (start of the next
-// token), useful for error messages.
-func (l *Lexer) Offset() int { return l.pos }
-
-func (l *Lexer) errf(format string, args ...any) error {
-	return fmt.Errorf("json: offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+// NewLexer returns a lexer over an in-memory document. The slice is never
+// modified.
+func NewLexer(data []byte) *Lexer {
+	return &Lexer{buf: data, end: len(data), eof: true}
 }
 
-func (l *Lexer) skipSpace() {
-	for l.pos < len(l.data) {
-		switch l.data[l.pos] {
-		case ' ', '\t', '\n', '\r':
-			l.pos++
-		default:
-			return
+// NewStreamLexer returns a lexer that tokenizes the JSON document read from
+// r through a refillable chunk buffer of chunkSize bytes (DefaultChunkSize
+// when chunkSize <= 0; a small floor applies so the lexer always has enough
+// contiguous lookahead).
+func NewStreamLexer(r io.Reader, chunkSize int) *Lexer {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if chunkSize < minChunkSize {
+		chunkSize = minChunkSize
+	}
+	return &Lexer{r: r, buf: make([]byte, chunkSize)}
+}
+
+// Offset reports the absolute byte offset of the lexer cursor in the input
+// (file offset, not an index into the current chunk), useful for error
+// messages.
+func (l *Lexer) Offset() int { return int(l.base) + l.pos }
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return l.errfAt(int64(l.Offset()), format, args...)
+}
+
+func (l *Lexer) errfAt(off int64, format string, args ...any) error {
+	return fmt.Errorf("json: offset %d: %s", off, fmt.Sprintf(format, args...))
+}
+
+// refill discards the consumed prefix of the buffer and reads more input.
+// It reports whether any new bytes arrived; false means end of input.
+func (l *Lexer) refill() (bool, error) {
+	if l.eof {
+		return false, nil
+	}
+	if l.pos > 0 {
+		l.base += int64(l.pos)
+		copy(l.buf, l.buf[l.pos:l.end])
+		l.end -= l.pos
+		l.pos = 0
+	}
+	got := false
+	for l.end < len(l.buf) {
+		n, err := l.r.Read(l.buf[l.end:])
+		l.end += n
+		if n > 0 {
+			got = true
+		}
+		if err == io.EOF {
+			l.eof = true
+			return got, nil
+		}
+		if err != nil {
+			l.eof = true
+			return got, l.errf("read: %v", err)
+		}
+		if n > 0 {
+			return true, nil
+		}
+	}
+	return got, nil
+}
+
+// ensure makes at least n contiguous bytes available at buf[pos:],
+// refilling as needed; it reports false when the input ends first.
+// n must not exceed minChunkSize.
+func (l *Lexer) ensure(n int) (bool, error) {
+	for l.end-l.pos < n {
+		got, err := l.refill()
+		if err != nil {
+			return false, err
+		}
+		if !got {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (l *Lexer) skipSpace() error {
+	for {
+		for l.pos < l.end {
+			switch l.buf[l.pos] {
+			case ' ', '\t', '\n', '\r':
+				l.pos++
+			default:
+				return nil
+			}
+		}
+		got, err := l.refill()
+		if err != nil {
+			return err
+		}
+		if !got {
+			return nil
 		}
 	}
 }
 
 // Next advances to the next token, setting Kind (and Str/Num as applicable).
 func (l *Lexer) Next() error {
-	l.skipSpace()
-	if l.pos >= len(l.data) {
+	if err := l.skipSpace(); err != nil {
+		return err
+	}
+	if l.pos >= l.end {
 		l.Kind = TokEOF
 		return nil
 	}
-	c := l.data[l.pos]
+	c := l.buf[l.pos]
 	switch c {
 	case '{':
 		l.Kind, l.pos = TokLBrace, l.pos+1
@@ -157,57 +267,102 @@ func (l *Lexer) Next() error {
 }
 
 func (l *Lexer) scanWord(w string) error {
-	if l.pos+len(w) > len(l.data) || string(l.data[l.pos:l.pos+len(w)]) != w {
+	ok, err := l.ensure(len(w))
+	if err != nil {
+		return err
+	}
+	if !ok || string(l.buf[l.pos:l.pos+len(w)]) != w {
 		return l.errf("invalid literal")
 	}
 	l.pos += len(w)
 	return nil
 }
 
+// isNumChar reports whether c can appear inside a JSON number token.
+func isNumChar(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+}
+
 func (l *Lexer) scanNumber() (float64, error) {
+	// Collect the maximal run of number-shaped characters, then validate
+	// its shape. The run almost always sits inside one chunk (fast path:
+	// the text aliases the buffer); when it crosses a refill boundary it is
+	// accumulated in scratch so the value survives compaction.
+	off := int64(l.Offset())
+	l.scratch = l.scratch[:0]
+	var text []byte
 	start := l.pos
-	p := l.pos
-	if p < len(l.data) && l.data[p] == '-' {
+	for {
+		p := l.pos
+		for p < l.end && isNumChar(l.buf[p]) {
+			p++
+		}
+		if p < l.end || l.eof {
+			if len(l.scratch) == 0 {
+				text = l.buf[start:p]
+			} else {
+				l.scratch = append(l.scratch, l.buf[l.pos:p]...)
+				text = l.scratch
+			}
+			l.pos = p
+			break
+		}
+		// The run reaches the end of the window: stash it and refill.
+		l.scratch = append(l.scratch, l.buf[l.pos:p]...)
+		l.pos = p
+		if _, err := l.refill(); err != nil {
+			return 0, err
+		}
+		start = l.pos
+	}
+	return l.parseNumber(off, text)
+}
+
+// parseNumber validates and converts one complete number token.
+func (l *Lexer) parseNumber(off int64, text []byte) (float64, error) {
+	p := 0
+	if p < len(text) && text[p] == '-' {
 		p++
 	}
 	digits := 0
-	for p < len(l.data) && l.data[p] >= '0' && l.data[p] <= '9' {
+	for p < len(text) && text[p] >= '0' && text[p] <= '9' {
 		p++
 		digits++
 	}
 	if digits == 0 {
-		return 0, l.errf("malformed number")
+		return 0, l.errfAt(off, "malformed number")
 	}
 	isFloat := false
-	if p < len(l.data) && l.data[p] == '.' {
+	if p < len(text) && text[p] == '.' {
 		isFloat = true
 		p++
 		fd := 0
-		for p < len(l.data) && l.data[p] >= '0' && l.data[p] <= '9' {
+		for p < len(text) && text[p] >= '0' && text[p] <= '9' {
 			p++
 			fd++
 		}
 		if fd == 0 {
-			return 0, l.errf("malformed number: no digits after point")
+			return 0, l.errfAt(off, "malformed number: no digits after point")
 		}
 	}
-	if p < len(l.data) && (l.data[p] == 'e' || l.data[p] == 'E') {
+	if p < len(text) && (text[p] == 'e' || text[p] == 'E') {
 		isFloat = true
 		p++
-		if p < len(l.data) && (l.data[p] == '+' || l.data[p] == '-') {
+		if p < len(text) && (text[p] == '+' || text[p] == '-') {
 			p++
 		}
 		ed := 0
-		for p < len(l.data) && l.data[p] >= '0' && l.data[p] <= '9' {
+		for p < len(text) && text[p] >= '0' && text[p] <= '9' {
 			p++
 			ed++
 		}
 		if ed == 0 {
-			return 0, l.errf("malformed number: no exponent digits")
+			return 0, l.errfAt(off, "malformed number: no exponent digits")
 		}
 	}
-	text := l.data[start:p]
-	l.pos = p
+	if p != len(text) {
+		return 0, l.errfAt(off, "malformed number %q", text)
+	}
 	if !isFloat && len(text) <= 15 {
 		// Fast integer path (fits float64 exactly).
 		neg := false
@@ -226,107 +381,133 @@ func (l *Lexer) scanNumber() (float64, error) {
 	}
 	f, err := strconv.ParseFloat(string(text), 64)
 	if err != nil || math.IsInf(f, 0) {
-		return 0, l.errf("malformed number %q", text)
+		return 0, l.errfAt(off, "malformed number %q", text)
 	}
 	return f, nil
 }
 
 func (l *Lexer) scanString() (string, error) {
-	// l.data[l.pos] == '"'
-	p := l.pos + 1
-	start := p
-	for p < len(l.data) {
-		c := l.data[p]
-		if c == '"' {
-			s := string(l.data[start:p])
-			l.pos = p + 1
-			return s, nil
+	// l.buf[l.pos] == '"'. Unescaped segments are scanned in place; as soon
+	// as the string contains an escape or spans a refill boundary the
+	// decoded bytes accumulate in scratch instead, so the value never
+	// depends on buffer contents that compaction may discard.
+	l.pos++
+	l.scratch = l.scratch[:0]
+	direct := true // the value is a single in-buffer segment, no copy yet
+	segStart := l.pos
+	for {
+		p := l.pos
+		for p < l.end {
+			c := l.buf[p]
+			if c == '"' {
+				var s string
+				if direct {
+					s = string(l.buf[segStart:p])
+				} else {
+					l.scratch = append(l.scratch, l.buf[segStart:p]...)
+					s = string(l.scratch)
+				}
+				l.pos = p + 1
+				return s, nil
+			}
+			if c == '\\' {
+				l.scratch = append(l.scratch, l.buf[segStart:p]...)
+				direct = false
+				l.pos = p
+				if err := l.scanEscape(); err != nil {
+					return "", err
+				}
+				segStart = l.pos
+				p = l.pos
+				continue
+			}
+			if c < 0x20 {
+				l.pos = p
+				return "", l.errf("control character in string")
+			}
+			p++
 		}
-		if c == '\\' {
-			return l.scanStringSlow(start)
+		// End of window without a closing quote: stash the segment scanned
+		// so far and refill.
+		l.scratch = append(l.scratch, l.buf[segStart:p]...)
+		direct = false
+		l.pos = p
+		got, err := l.refill()
+		if err != nil {
+			return "", err
 		}
-		if c < 0x20 {
-			l.pos = p
-			return "", l.errf("control character in string")
+		if !got {
+			return "", l.errf("unterminated string")
 		}
-		p++
+		segStart = l.pos
 	}
-	l.pos = p
-	return "", l.errf("unterminated string")
 }
 
-func (l *Lexer) scanStringSlow(start int) (string, error) {
-	buf := make([]byte, 0, 32)
-	buf = append(buf, l.data[start:]...)
-	buf = buf[:0]
-	p := start
-	data := l.data
-	for p < len(data) {
-		c := data[p]
-		switch {
-		case c == '"':
-			l.pos = p + 1
-			return string(buf), nil
-		case c == '\\':
-			p++
-			if p >= len(data) {
-				l.pos = p
-				return "", l.errf("unterminated escape")
-			}
-			switch data[p] {
-			case '"':
-				buf = append(buf, '"')
-			case '\\':
-				buf = append(buf, '\\')
-			case '/':
-				buf = append(buf, '/')
-			case 'b':
-				buf = append(buf, '\b')
-			case 'f':
-				buf = append(buf, '\f')
-			case 'n':
-				buf = append(buf, '\n')
-			case 'r':
-				buf = append(buf, '\r')
-			case 't':
-				buf = append(buf, '\t')
-			case 'u':
-				if p+4 >= len(data) {
-					l.pos = p
-					return "", l.errf("truncated \\u escape")
-				}
-				r, err := hex4(data[p+1 : p+5])
-				if err != nil {
-					l.pos = p
-					return "", l.errf("bad \\u escape: %v", err)
-				}
-				p += 4
-				if utf16IsHighSurrogate(r) && p+6 < len(data) &&
-					data[p+1] == '\\' && data[p+2] == 'u' {
-					r2, err := hex4(data[p+3 : p+7])
-					if err == nil && utf16IsLowSurrogate(r2) {
-						r = utf16Combine(r, r2)
-						p += 6
-					}
-				}
-				var tmp [4]byte
-				n := utf8.EncodeRune(tmp[:], r)
-				buf = append(buf, tmp[:n]...)
-			default:
-				l.pos = p
-				return "", l.errf("invalid escape \\%c", data[p])
-			}
-			p++
-		case c < 0x20:
-			l.pos = p
-			return "", l.errf("control character in string")
-		default:
-			buf = append(buf, c)
-			p++
-		}
+// scanEscape decodes one backslash escape (cursor on the backslash),
+// appending the decoded bytes to scratch.
+func (l *Lexer) scanEscape() error {
+	ok, err := l.ensure(2)
+	if err != nil {
+		return err
 	}
-	l.pos = p
-	return "", l.errf("unterminated string")
+	if !ok {
+		l.pos = l.end
+		return l.errf("unterminated escape")
+	}
+	c := l.buf[l.pos+1]
+	l.pos += 2
+	switch c {
+	case '"':
+		l.scratch = append(l.scratch, '"')
+	case '\\':
+		l.scratch = append(l.scratch, '\\')
+	case '/':
+		l.scratch = append(l.scratch, '/')
+	case 'b':
+		l.scratch = append(l.scratch, '\b')
+	case 'f':
+		l.scratch = append(l.scratch, '\f')
+	case 'n':
+		l.scratch = append(l.scratch, '\n')
+	case 'r':
+		l.scratch = append(l.scratch, '\r')
+	case 't':
+		l.scratch = append(l.scratch, '\t')
+	case 'u':
+		ok, err := l.ensure(4)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return l.errf("truncated \\u escape")
+		}
+		r, err := hex4(l.buf[l.pos : l.pos+4])
+		if err != nil {
+			return l.errf("bad \\u escape: %v", err)
+		}
+		l.pos += 4
+		if utf16IsHighSurrogate(r) {
+			// Peek for the low half of a surrogate pair; leave the cursor
+			// untouched unless a valid pair follows.
+			ok, err := l.ensure(6)
+			if err != nil {
+				return err
+			}
+			if ok && l.buf[l.pos] == '\\' && l.buf[l.pos+1] == 'u' {
+				if r2, err2 := hex4(l.buf[l.pos+2 : l.pos+6]); err2 == nil && utf16IsLowSurrogate(r2) {
+					r = utf16Combine(r, r2)
+					l.pos += 6
+				}
+			}
+		}
+		var tmp [4]byte
+		n := utf8.EncodeRune(tmp[:], r)
+		l.scratch = append(l.scratch, tmp[:n]...)
+	default:
+		l.pos--
+		return l.errf("invalid escape \\%c", c)
+	}
+	return nil
 }
 
 func hex4(b []byte) (rune, error) {

@@ -2,6 +2,7 @@ package jsonparse
 
 import (
 	"fmt"
+	"io"
 
 	"vxq/internal/item"
 )
@@ -9,7 +10,19 @@ import (
 // Parse parses a complete JSON document into an item tree. Trailing
 // non-space content is an error.
 func Parse(data []byte) (item.Item, error) {
-	l := NewLexer(data)
+	return parseLexer(NewLexer(data))
+}
+
+// ParseReader parses one complete JSON document streamed from r, reading
+// through a refillable chunk buffer of chunkSize bytes (DefaultChunkSize
+// when chunkSize <= 0). Peak lexer memory is O(chunkSize), independent of
+// the document size; the resulting item tree is of course proportional to
+// the document.
+func ParseReader(r io.Reader, chunkSize int) (item.Item, error) {
+	return parseLexer(NewStreamLexer(r, chunkSize))
+}
+
+func parseLexer(l *Lexer) (item.Item, error) {
 	if err := l.Next(); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package jsonparse
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
@@ -201,7 +202,19 @@ func ApplyStep(seq item.Sequence, s Step) item.Sequence {
 //
 // Project(data, nil, emit) emits the whole document (equivalent to Parse).
 func Project(data []byte, path Path, emit func(item.Item) error) error {
-	l := NewLexer(data)
+	return projectLexer(NewLexer(data), path, emit)
+}
+
+// ProjectReader streams over a JSON document read from r through a
+// refillable chunk buffer of chunkSize bytes (DefaultChunkSize when
+// chunkSize <= 0), applying path while parsing exactly like Project. The
+// whole file is never materialized: peak memory is O(chunkSize + largest
+// emitted item), not O(file size). Error offsets are absolute file offsets.
+func ProjectReader(r io.Reader, chunkSize int, path Path, emit func(item.Item) error) error {
+	return projectLexer(NewStreamLexer(r, chunkSize), path, emit)
+}
+
+func projectLexer(l *Lexer, path Path, emit func(item.Item) error) error {
 	if err := l.Next(); err != nil {
 		return err
 	}

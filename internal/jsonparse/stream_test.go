@@ -1,0 +1,244 @@
+package jsonparse
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vxq/internal/item"
+)
+
+// chunkedReader delivers at most max bytes per Read, so the streaming lexer
+// crosses a refill boundary every max bytes regardless of its buffer size.
+type chunkedReader struct {
+	data []byte
+	max  int
+}
+
+func (r *chunkedReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.max
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// streamChunkSizes are the refill granularities the streaming tests exercise:
+// smaller than any token, the lexer's lookahead floor, and a typical page.
+var streamChunkSizes = []int{7, 64, 4096}
+
+func parseStream(src string, chunk int) (item.Item, error) {
+	return ParseReader(&chunkedReader{data: []byte(src), max: chunk}, chunk)
+}
+
+func TestParseReaderMatchesParse(t *testing.T) {
+	srcs := []string{
+		sensorDoc,
+		`{"a":[1,2.5,-3e2,true,false,null,"x\ny","é😀"]}`,
+		`  [ "padded" , 123456789012345 ]  `,
+	}
+	for _, src := range srcs {
+		want, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunk := range streamChunkSizes {
+			got, err := parseStream(src, chunk)
+			if err != nil {
+				t.Errorf("chunk %d: ParseReader: %v", chunk, err)
+				continue
+			}
+			if !item.Equal(got, want) {
+				t.Errorf("chunk %d: got %s, want %s", chunk, item.JSON(got), item.JSON(want))
+			}
+		}
+	}
+}
+
+// TestParseReaderLargerThanChunk streams a document several times larger
+// than the chunk buffer and checks it parses identically to the in-memory
+// path: the whole point of the refillable lexer.
+func TestParseReaderLargerThanChunk(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"root":[`)
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"i":%d,"s":"value-%06d with a \"quote\" and a é"}`, i, i)
+	}
+	sb.WriteString(`]}`)
+	src := sb.String() // ~30 KiB
+	want, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{64, 256} {
+		if len(src) < 10*chunk {
+			t.Fatalf("document of %d bytes does not dwarf chunk %d", len(src), chunk)
+		}
+		got, err := parseStream(src, chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if !item.Equal(got, want) {
+			t.Errorf("chunk %d: streamed parse differs from in-memory parse", chunk)
+		}
+	}
+}
+
+// TestStreamStringSpansRefill walks a string token across the refill
+// boundary at every alignment: prefixes of varying length push the string's
+// escapes, surrogate pairs, and closing quote onto either side of the
+// 64-byte window edge.
+func TestStreamStringSpansRefill(t *testing.T) {
+	const chunk = 64
+	long := strings.Repeat("x", 3*chunk)
+	for pad := 0; pad < chunk+2; pad++ {
+		val := strings.Repeat("a", pad) + "\n" + long + "\té" + "\U0001F600" + `"end`
+		src := `["` + strings.Repeat("a", pad) + `\n` + long + `\té` + `😀\"end"]`
+		got, err := parseStream(src, chunk)
+		if err != nil {
+			t.Fatalf("pad %d: %v", pad, err)
+		}
+		want := item.Array{item.String(val)}
+		if !item.Equal(got, want) {
+			t.Errorf("pad %d: got %s", pad, item.JSON(got))
+		}
+	}
+}
+
+// TestStreamNumberSpansRefill checks number tokens that straddle a refill
+// boundary survive buffer compaction.
+func TestStreamNumberSpansRefill(t *testing.T) {
+	for pad := 0; pad < 70; pad++ {
+		src := "[" + strings.Repeat(" ", pad) + "-123456.789e2]"
+		got, err := parseStream(src, 64)
+		if err != nil {
+			t.Fatalf("pad %d: %v", pad, err)
+		}
+		want := item.Array{item.Number(-123456.789e2)}
+		if !item.Equal(got, want) {
+			t.Errorf("pad %d: got %s", pad, item.JSON(got))
+		}
+	}
+}
+
+// TestStreamTruncatedMidToken injects truncation inside every token kind and
+// expects a position-bearing error, never a hang or a silent success.
+func TestStreamTruncatedMidToken(t *testing.T) {
+	bad := []string{
+		`{"root": [ "unterminated str`, // mid-string
+		`{"root": [ "esc\`,             // mid-escape
+		`{"root": [ "u\u12`,            // mid-\u escape
+		`{"root": [ 12.`,               // mid-number
+		`{"root": [ tru`,               // mid-literal
+		`{"root": [ 1, 2`,              // mid-array
+		`{"root"`,                      // mid-object
+	}
+	for _, src := range bad {
+		for _, chunk := range streamChunkSizes {
+			_, err := parseStream(src, chunk)
+			if err == nil {
+				t.Errorf("chunk %d: ParseReader(%q) should fail", chunk, src)
+				continue
+			}
+			if !strings.Contains(err.Error(), "offset") {
+				t.Errorf("chunk %d: error for %q lacks an offset: %v", chunk, src, err)
+			}
+		}
+	}
+}
+
+// TestStreamErrorOffsetIsAbsolute: error positions must be file offsets,
+// not indexes into whichever chunk the failure happened to land in.
+func TestStreamErrorOffsetIsAbsolute(t *testing.T) {
+	src := strings.Repeat(" ", 100) + "tru"
+	for _, chunk := range streamChunkSizes {
+		_, err := parseStream(src, chunk)
+		if err == nil {
+			t.Fatalf("chunk %d: truncated literal should fail", chunk)
+		}
+		if !strings.Contains(err.Error(), "offset 100") {
+			t.Errorf("chunk %d: error %q should report offset 100", chunk, err)
+		}
+	}
+}
+
+func TestStreamReadError(t *testing.T) {
+	r := io.MultiReader(strings.NewReader(`{"root": [1, 2`), failingReader{})
+	if _, err := ParseReader(r, 64); err == nil {
+		t.Error("reader failure must surface as a parse error")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, fmt.Errorf("disk gone") }
+
+// TestQuickProjectReaderMatchesProject is the streaming-ingest property the
+// refactor must preserve: projecting over an io.Reader emits exactly the
+// item sequence the slice-based projector emits, at every chunk size.
+func TestQuickProjectReaderMatchesProject(t *testing.T) {
+	f := func(dp docAndPath) bool {
+		src := []byte(item.JSON(dp.Doc))
+		var want item.Sequence
+		if err := Project(src, dp.Path, func(it item.Item) error {
+			want = append(want, it)
+			return nil
+		}); err != nil {
+			t.Logf("Project(%s, %s): %v", src, dp.Path, err)
+			return false
+		}
+		for _, chunk := range streamChunkSizes {
+			var got item.Sequence
+			r := &chunkedReader{data: src, max: chunk}
+			if err := ProjectReader(r, chunk, dp.Path, func(it item.Item) error {
+				got = append(got, it)
+				return nil
+			}); err != nil {
+				t.Logf("chunk %d: ProjectReader(%s, %s): %v", chunk, src, dp.Path, err)
+				return false
+			}
+			if !item.EqualSeq(got, want) {
+				t.Logf("chunk %d: doc=%s path=%s got=%s want=%s", chunk, src, dp.Path,
+					item.JSONSeq(got), item.JSONSeq(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProjectReaderEmitError: the emit contract (errors abort the scan and
+// surface unchanged) must hold on the streaming path too.
+func TestProjectReaderEmitError(t *testing.T) {
+	count := 0
+	err := ProjectReader(strings.NewReader(`[1,2,3]`), 64, Path{MembersStep()},
+		func(item.Item) error {
+			count++
+			if count == 2 {
+				return errSentinel
+			}
+			return nil
+		})
+	if err != errSentinel {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if count != 2 {
+		t.Errorf("emit called %d times, want 2", count)
+	}
+}

@@ -7,7 +7,9 @@
 package runtime
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -25,8 +27,41 @@ type Source interface {
 	// Files returns the file paths belonging to a collection, in a stable
 	// order.
 	Files(collection string) ([]string, error)
-	// ReadFile returns the raw bytes of one file.
+	// Open returns a reader over one file's bytes. It is the primary read
+	// path: scans stream documents through it chunk by chunk, so peak
+	// memory stays O(chunk), not O(file).
+	Open(path string) (io.ReadCloser, error)
+	// ReadFile returns the raw bytes of one file. It is a compatibility
+	// shim over Open for the few consumers that genuinely need the whole
+	// file at once (e.g. decoding pre-converted binary ADM documents).
 	ReadFile(path string) ([]byte, error)
+}
+
+// ReadAll reads a whole file through src.Open. It is the canonical
+// implementation behind every Source's ReadFile compatibility shim.
+func ReadAll(src interface {
+	Open(path string) (io.ReadCloser, error)
+}, path string) ([]byte, error) {
+	rc, err := src.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}
+
+// CountingReader wraps an io.Reader and counts the bytes delivered, so
+// streaming consumers can report Stats.BytesRead without buffering.
+type CountingReader struct {
+	R io.Reader
+	N int64
+}
+
+// Read implements io.Reader.
+func (c *CountingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	c.N += int64(n)
+	return n, err
 }
 
 // DirSource is a Source that maps collection names to directories on the
@@ -56,8 +91,11 @@ func (s *DirSource) Files(collection string) ([]string, error) {
 	return files, nil
 }
 
-// ReadFile reads one file from disk.
-func (s *DirSource) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+// Open opens one file on disk for streaming reads.
+func (s *DirSource) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// ReadFile reads one whole file from disk (compatibility shim over Open).
+func (s *DirSource) ReadFile(path string) ([]byte, error) { return ReadAll(s, path) }
 
 // MemSource is an in-memory Source, used by tests.
 type MemSource struct {
@@ -79,18 +117,21 @@ func (s *MemSource) Files(collection string) ([]string, error) {
 	return names, nil
 }
 
-// ReadFile returns a stored document.
-func (s *MemSource) ReadFile(path string) ([]byte, error) {
+// Open returns a reader over a stored document.
+func (s *MemSource) Open(path string) (io.ReadCloser, error) {
 	for coll, docs := range s.Collections {
 		prefix := coll + "/"
 		if len(path) > len(prefix) && path[:len(prefix)] == prefix {
 			if b, ok := docs[path[len(prefix):]]; ok {
-				return b, nil
+				return io.NopCloser(bytes.NewReader(b)), nil
 			}
 		}
 	}
 	return nil, fmt.Errorf("runtime: no such document %q", path)
 }
+
+// ReadFile returns a stored document (compatibility shim over Open).
+func (s *MemSource) ReadFile(path string) ([]byte, error) { return ReadAll(s, path) }
 
 // Stats accumulates per-partition execution statistics.
 type Stats struct {
@@ -132,9 +173,21 @@ type Ctx struct {
 	Accountant *frame.Accountant
 	Stats      *Stats
 	FrameSize  int
+	// ChunkSize is the refill-buffer size of streaming scans
+	// (jsonparse.DefaultChunkSize when <= 0). It is the unit charged to
+	// the accountant while a file is being scanned.
+	ChunkSize int
 	// Indexes provides zone-map lookups for DATASCAN file pruning (may be
 	// nil).
 	Indexes IndexLookup
+}
+
+// ScanChunkSize resolves the effective streaming chunk size.
+func (c *Ctx) ScanChunkSize() int {
+	if c != nil && c.ChunkSize > 0 {
+		return c.ChunkSize
+	}
+	return jsonparse.DefaultChunkSize
 }
 
 // NewCtx builds a context with sane defaults.

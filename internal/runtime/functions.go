@@ -377,15 +377,20 @@ var FnJSONDoc = register(&Function{
 })
 
 func readDoc(ctx *Ctx, path string) (item.Item, error) {
-	raw, err := ctx.Source.ReadFile(path)
+	rc, err := ctx.Source.Open(path)
 	if err != nil {
+		// Both Source implementations name the file in their open errors.
 		return nil, err
 	}
+	cr := &CountingReader{R: rc}
+	doc, err := jsonparse.ParseReader(cr, ctx.ScanChunkSize())
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
 	if ctx.Stats != nil {
-		ctx.Stats.BytesRead += int64(len(raw))
+		ctx.Stats.BytesRead += cr.N
 		ctx.Stats.FilesRead++
 	}
-	doc, err := jsonparse.Parse(raw)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

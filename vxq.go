@@ -37,6 +37,7 @@ package vxq
 
 import (
 	"fmt"
+	"io"
 
 	"vxq/internal/core"
 	"vxq/internal/frame"
@@ -71,6 +72,11 @@ type Options struct {
 	DisableGroupByRules bool
 	// FrameSize is the dataflow frame capacity in bytes (default 32 KiB).
 	FrameSize int
+	// ScanChunkSize is the refill-buffer size, in bytes, of streaming
+	// collection scans (default 64 KiB). Raw JSON files are never
+	// materialized whole: the scan reads each file through a buffer of
+	// this size, so per-scan peak memory is O(chunk), not O(file).
+	ScanChunkSize int
 	// MemoryLimit bounds the engine's accounted memory in bytes
 	// (0 = unlimited). Exceeding it does not abort execution; it is
 	// reported through Result.PeakMemory versus the limit.
@@ -160,11 +166,18 @@ func (s *compositeSource) Files(collection string) ([]string, error) {
 	return s.mem.Files(collection)
 }
 
-func (s *compositeSource) ReadFile(path string) ([]byte, error) {
-	if b, err := s.mem.ReadFile(path); err == nil {
-		return b, nil
+// Open is the streaming read path: in-memory documents win, directory
+// mounts are the fallback.
+func (s *compositeSource) Open(path string) (io.ReadCloser, error) {
+	if rc, err := s.mem.Open(path); err == nil {
+		return rc, nil
 	}
-	return s.dirs.ReadFile(path)
+	return s.dirs.Open(path)
+}
+
+// ReadFile is the whole-file compatibility shim over Open.
+func (s *compositeSource) ReadFile(path string) ([]byte, error) {
+	return runtime.ReadAll(s, path)
 }
 
 // Result is a query's outcome.
@@ -193,6 +206,7 @@ func (e *Engine) Query(query string) (*Result, error) {
 	env := &hyracks.Env{
 		Source:     e.source(),
 		FrameSize:  e.opts.FrameSize,
+		ChunkSize:  e.opts.ScanChunkSize,
 		Accountant: frame.NewAccountant(e.opts.MemoryLimit),
 		Indexes:    e.indexes,
 	}
