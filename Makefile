@@ -1,0 +1,35 @@
+# Build, test, and benchmark entry points.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/hyracks ./internal/frame ./internal/cluster
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the scan skew benchmark at the quick scale and writes the
+# BENCH_scan.json artifact, then runs the Go microbenchmarks with allocation
+# reporting. Add VXQ_SCAN_FULL=1 and `go run ./cmd/benchscan -full` for the
+# acceptance scale (1x64 MiB + 31x2 MiB).
+bench:
+	$(GO) run ./cmd/benchscan -out BENCH_scan.json
+	$(GO) test -run='^$$' -bench='Scan|FramePath' -benchmem ./internal/bench
+
+# bench-smoke is the CI guard: every benchmark must still run (one
+# iteration), catching bit-rot in the harness without burning CI minutes.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

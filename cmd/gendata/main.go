@@ -29,6 +29,7 @@ func run() error {
 	flag.IntVar(&cfg.MeasurementsPerArray, "measurements", cfg.MeasurementsPerArray, "measurements per results array")
 	flag.IntVar(&cfg.Stations, "stations", cfg.Stations, "number of distinct stations")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "PRNG seed")
+	flag.BoolVar(&cfg.SplitRecords, "split", cfg.SplitRecords, "write each record as its own newline-terminated document so large files split into scan morsels")
 	targetMB := flag.Int64("target-mb", 0, "scale the file count so the collection is about this many MB (overrides -files)")
 	flag.Parse()
 	if *out == "" {

@@ -55,6 +55,7 @@ func run() error {
 	noGroup := fs.Bool("no-groupby-rules", false, "disable the group-by rules (§4.3)")
 	explain := fs.Bool("explain", false, "print the plans instead of executing")
 	stats := fs.Bool("stats", false, "print execution statistics to stderr")
+	morselKB := fs.Int64("morsel-kb", 0, "scan morsel size in KiB (0 = default 4 MiB); large files split into byte-range morsels")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -79,6 +80,7 @@ func run() error {
 		DisablePathRules:       *noPath,
 		DisablePipeliningRules: *noPipe,
 		DisableGroupByRules:    *noGroup,
+		MorselSize:             *morselKB << 10,
 	})
 	for name, dir := range mounts {
 		eng.Mount(name, dir)

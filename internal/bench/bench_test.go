@@ -150,10 +150,13 @@ func TestCrossSystemAgreement(t *testing.T) {
 
 // TestPipeliningShapeHolds asserts the headline result at harness scale:
 // the pipelining rules must deliver a large speedup (the paper reports ~2
-// orders of magnitude; we require at least 3x at the small default scale,
-// where constant costs compress ratios).
+// orders of magnitude; we require at least 3x). The dataset is scaled up
+// from the ablation default because frame pooling and scratch reuse shaved
+// most of the unoptimized plan's constant per-tuple costs — the remaining
+// gap is the asymptotic materialize-vs-stream difference, which needs
+// enough data to dominate.
 func TestPipeliningShapeHolds(t *testing.T) {
-	src, _, err := sensorSource(ablationDataset(Settings{}))
+	src, _, err := sensorSource(ablationDataset(Settings{Factor: 8}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,6 +116,46 @@ func (f *Frame) Tuple(i int) (Tuple, error) {
 	return decodeTuple(f.data[f.offs[i]:f.ends[i]])
 }
 
+// TupleFields decodes the raw field slices of tuple i into dst (reusing its
+// capacity), so a caller iterating a frame performs no per-tuple allocation
+// once the scratch slice has warmed up. The returned slices alias the frame
+// buffer and must not be retained past the frame's lifetime.
+func (f *Frame) TupleFields(i int, dst [][]byte) ([][]byte, error) {
+	if i < 0 || i >= len(f.offs) {
+		return dst, fmt.Errorf("frame: tuple index %d out of range [0,%d)", i, len(f.offs))
+	}
+	buf := f.data[f.offs[i]:f.ends[i]]
+	nf, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return dst, fmt.Errorf("frame: bad tuple field count")
+	}
+	// First pass: walk the length header to find where field bytes begin.
+	hdr := w
+	for k := uint64(0); k < nf; k++ {
+		_, lw := binary.Uvarint(buf[hdr:])
+		if lw <= 0 {
+			return dst, fmt.Errorf("frame: bad field length")
+		}
+		hdr += lw
+	}
+	// Second pass: re-decode each length while slicing out the field bytes.
+	dst = dst[:0]
+	lp, pos := w, hdr
+	for k := uint64(0); k < nf; k++ {
+		l, lw := binary.Uvarint(buf[lp:])
+		lp += lw
+		if pos+int(l) > len(buf) {
+			return dst, fmt.Errorf("frame: truncated field %d", k)
+		}
+		dst = append(dst, buf[pos:pos+int(l)])
+		pos += int(l)
+	}
+	if pos != len(buf) {
+		return dst, fmt.Errorf("frame: %d trailing bytes in tuple", len(buf)-pos)
+	}
+	return dst, nil
+}
+
 // Tuple is a decoded view of one tuple inside a frame. Field bytes alias the
 // frame buffer and must not be retained past the frame's lifetime.
 type Tuple struct {
@@ -180,13 +220,21 @@ func EncodeFields(seqs []item.Sequence) [][]byte {
 
 // DecodeFields decodes raw field encodings into item sequences.
 func DecodeFields(fields [][]byte) ([]item.Sequence, error) {
-	out := make([]item.Sequence, len(fields))
+	return DecodeFieldsInto(nil, fields)
+}
+
+// DecodeFieldsInto decodes raw field encodings into dst, reusing its
+// capacity. The decoded sequences themselves are freshly allocated (they
+// never alias the raw bytes), but the returned slice is scratch: callers
+// that retain it across calls must copy it first.
+func DecodeFieldsInto(dst []item.Sequence, fields [][]byte) ([]item.Sequence, error) {
+	dst = dst[:0]
 	for i, f := range fields {
 		s, err := item.DecodeSeq(f)
 		if err != nil {
 			return nil, fmt.Errorf("field %d: %w", i, err)
 		}
-		out[i] = s
+		dst = append(dst, s)
 	}
-	return out, nil
+	return dst, nil
 }

@@ -1,0 +1,71 @@
+package frame
+
+import "sync"
+
+// Pool recycles frames of one nominal capacity across operators, tasks, and
+// goroutines, so the steady-state hot path allocates no frames at all: a
+// frame is obtained with Get, filled, pushed downstream, and returned with
+// Put by whichever writer finally consumed it (see the ownership rules in
+// DESIGN.md — ownership transfers with Push; the receiver recycles).
+//
+// The pool is integrated with the memory accountant: every checked-out frame
+// is charged its nominal capacity from Get until Put, so the accountant's
+// balance reflects the frames currently alive in the dataflow (including
+// frames parked in a materialized exchange) and returns to zero when a job
+// finishes cleanly. Frames resting inside the pool are not charged — they
+// are reusable capacity, not live state.
+type Pool struct {
+	capacity int
+	acct     *Accountant
+	p        sync.Pool
+}
+
+// NewPool returns a pool of frames with the given nominal capacity
+// (DefaultFrameSize when <= 0), charging checked-out frames to acct (which
+// may be nil).
+func NewPool(capacity int, acct *Accountant) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultFrameSize
+	}
+	pl := &Pool{capacity: capacity, acct: acct}
+	pl.p.New = func() any { return New(pl.capacity) }
+	return pl
+}
+
+// Capacity reports the nominal capacity of the pool's frames.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Get returns an empty frame, recycled if one is available. A nil pool
+// degrades to a plain allocation.
+func (p *Pool) Get() *Frame {
+	if p == nil {
+		return New(0)
+	}
+	if p.acct != nil {
+		p.acct.Allocate(int64(p.capacity))
+	}
+	f := p.p.Get().(*Frame)
+	f.Reset()
+	return f
+}
+
+// Put returns a frame obtained from Get to the pool. Frames of a foreign
+// capacity are dropped (their charge is still released, pairing the Get),
+// and buffers grown far past the nominal capacity by an oversize tuple are
+// shed so the pool never caches big-object frames.
+func (p *Pool) Put(f *Frame) {
+	if p == nil || f == nil {
+		return
+	}
+	if p.acct != nil {
+		p.acct.Release(int64(p.capacity))
+	}
+	if f.capacity != p.capacity {
+		return
+	}
+	if cap(f.data) > 2*p.capacity {
+		f.data = nil
+	}
+	f.Reset()
+	p.p.Put(f)
+}

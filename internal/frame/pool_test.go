@@ -1,0 +1,146 @@
+package frame
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolGetPutAccounting(t *testing.T) {
+	acct := NewAccountant(0)
+	p := NewPool(1024, acct)
+	if p.Capacity() != 1024 {
+		t.Fatalf("Capacity = %d", p.Capacity())
+	}
+	f := p.Get()
+	if got := acct.Current(); got != 1024 {
+		t.Errorf("after Get: Current = %d, want 1024", got)
+	}
+	f.AppendTuple([][]byte{[]byte("abc")})
+	p.Put(f)
+	if got := acct.Current(); got != 0 {
+		t.Errorf("after Put: Current = %d, want 0", got)
+	}
+	// A recycled frame comes back empty.
+	g := p.Get()
+	if g.TupleCount() != 0 || g.Size() != 0 || g.Oversize() {
+		t.Errorf("recycled frame not reset: tuples=%d size=%d oversize=%v",
+			g.TupleCount(), g.Size(), g.Oversize())
+	}
+	p.Put(g)
+}
+
+func TestPoolDefaultsAndNil(t *testing.T) {
+	p := NewPool(0, nil)
+	if p.Capacity() != DefaultFrameSize {
+		t.Errorf("default capacity = %d", p.Capacity())
+	}
+	var nilPool *Pool
+	f := nilPool.Get()
+	if f == nil || f.Capacity() != DefaultFrameSize {
+		t.Error("nil pool Get must degrade to a plain allocation")
+	}
+	nilPool.Put(f) // must not panic
+	p.Put(nil)     // must not panic
+}
+
+func TestPoolDropsForeignCapacityFrames(t *testing.T) {
+	p := NewPool(1024, nil)
+	p.Put(New(77))
+	// The foreign frame must never be handed back out; every Get yields the
+	// pool's nominal capacity.
+	for i := 0; i < 8; i++ {
+		f := p.Get()
+		if f.Capacity() != 1024 {
+			t.Fatalf("Get %d: capacity = %d, want 1024", i, f.Capacity())
+		}
+		p.Put(f)
+	}
+}
+
+func TestPoolShedsOversizedBuffers(t *testing.T) {
+	p := NewPool(64, nil)
+	f := p.Get()
+	// One big tuple grows the buffer far past the nominal capacity.
+	big := make([]byte, 1024)
+	if !f.AppendTuple([][]byte{big}) {
+		t.Fatal("oversize tuple must be admitted into an empty frame")
+	}
+	if !f.Oversize() {
+		t.Fatal("frame should be oversize")
+	}
+	p.Put(f)
+	if f.data != nil {
+		t.Errorf("oversized buffer (cap %d) not shed on Put", cap(f.data))
+	}
+	// A frame that stayed within bounds keeps its buffer.
+	g := p.Get()
+	g.AppendTuple([][]byte{[]byte("small")})
+	p.Put(g)
+	if g.data == nil {
+		t.Error("normal buffer should be kept for reuse")
+	}
+}
+
+// TestPoolConcurrentAccounting drives the pool from many goroutines (run
+// under -race) and checks the accountant invariants: the balance reflects
+// exactly the frames checked out, never goes negative, and returns to zero
+// when everything is put back.
+func TestPoolConcurrentAccounting(t *testing.T) {
+	acct := NewAccountant(0)
+	p := NewPool(512, acct)
+	const (
+		workers = 8
+		rounds  = 2000
+		held    = 4
+	)
+	stop := make(chan struct{})
+	sampled := make(chan int64, 1)
+	go func() {
+		var minSeen int64
+		for {
+			select {
+			case <-stop:
+				sampled <- minSeen
+				return
+			default:
+				if c := acct.Current(); c < minSeen {
+					minSeen = c
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]*Frame, 0, held)
+			for i := 0; i < rounds; i++ {
+				f := p.Get()
+				f.AppendTuple([][]byte{{byte(w), byte(i)}})
+				local = append(local, f)
+				if len(local) == held {
+					for _, lf := range local {
+						p.Put(lf)
+					}
+					local = local[:0]
+				}
+			}
+			for _, lf := range local {
+				p.Put(lf)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if minSeen := <-sampled; minSeen < 0 {
+		t.Errorf("accountant balance went negative: %d", minSeen)
+	}
+	if got := acct.Current(); got != 0 {
+		t.Errorf("after all Puts: Current = %d, want 0", got)
+	}
+	// The peak is bounded by the frames that can be live at once.
+	if peak := acct.Peak(); peak < 512 || peak > workers*held*512 {
+		t.Errorf("Peak = %d, want within [512, %d]", peak, workers*held*512)
+	}
+}

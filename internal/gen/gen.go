@@ -43,6 +43,13 @@ type Config struct {
 	// zone-map index on the date path skip whole files for year-bounded
 	// selections.
 	PartitionByYear bool
+	// SplitRecords emits each root-array member as its own
+	// newline-terminated {"root":[...]} document instead of one whole-file
+	// root object. The resulting file is a concatenation of top-level JSON
+	// values with raw newlines between records — the shape morsel-driven
+	// scans can split into byte ranges on record boundaries. Workload
+	// results are identical because every query unnests the root array.
+	SplitRecords bool
 }
 
 // Default returns a small but representative configuration.
@@ -85,6 +92,14 @@ func (c Config) Measurements() int {
 func (c Config) File(idx int) []byte {
 	rng := rand.New(rand.NewSource(c.Seed + int64(idx)*7919))
 	var b []byte
+	if c.SplitRecords {
+		for r := 0; r < c.RecordsPerFile; r++ {
+			b = append(b, `{"root":[`...)
+			b = c.appendRecord(b, rng, idx)
+			b = append(b, "]}\n"...)
+		}
+		return b
+	}
 	b = append(b, `{"root":[`...)
 	for r := 0; r < c.RecordsPerFile; r++ {
 		if r > 0 {

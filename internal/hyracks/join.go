@@ -39,8 +39,11 @@ func newJoiner(ctx *TaskCtx, spec *JoinSpec) *joiner {
 	return &joiner{ctx: ctx, spec: spec, table: make(map[uint64]*joinBucket)}
 }
 
-// build inserts one build-side frame into the hash table.
+// build inserts one build-side frame into the hash table. The frame arrives
+// from an exchange and is consumed here (raw bytes are copied into the
+// table), so it is recycled on return.
 func (j *joiner) build(fr *frame.Frame) error {
+	defer j.ctx.recycle(fr)
 	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
 		keys, h, err := j.evalKeys(j.spec.BuildKeys, fields)
 		if err != nil {
@@ -95,8 +98,11 @@ func (j *joiner) lookup(h uint64, keys []item.Sequence) *joinBucket {
 }
 
 // probe streams one probe-side frame against the table, emitting joined
-// tuples through b.
+// tuples through b. The frame is recycled on return; emit copies the bytes
+// it frames, so one scratch slice carries every joined tuple.
 func (j *joiner) probe(fr *frame.Frame, b *frameBuilder) error {
+	defer j.ctx.recycle(fr)
+	var out [][]byte
 	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
 		keys, h, err := j.evalKeys(j.spec.ProbeKeys, fields)
 		if err != nil {
@@ -114,9 +120,9 @@ func (j *joiner) probe(fr *frame.Frame, b *frameBuilder) error {
 			}
 		}
 		for _, row := range bucket.rows {
-			outFields := append([][]byte(nil), row.raw...)
-			outFields = append(outFields, raw...)
-			if err := b.emit(outFields); err != nil {
+			out = append(out[:0], row.raw...)
+			out = append(out, raw...)
+			if err := b.emit(out); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,139 @@
+package hyracks
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"vxq/internal/runtime"
+)
+
+// DefaultMorselSize is the default byte-range granularity of morsel-driven
+// scans: files larger than this are split into independently schedulable
+// byte ranges, so one oversized file no longer serializes onto a single
+// partition (the skew problem of static file striding).
+const DefaultMorselSize int64 = 4 << 20
+
+// morsel is one unit of scan work: a byte range of one file. A record whose
+// first byte lies inside [start, end) belongs to this morsel, even when its
+// tail extends past end — the record-alignment rule borrowed from Hadoop's
+// line reader, valid because a raw '\n' never occurs inside a JSON string
+// (control characters must be escaped), so newline-delimited values can be
+// re-aligned from any offset.
+type morsel struct {
+	file  string
+	start int64
+	end   int64 // exclusive ownership limit; -1 = the whole rest of the file
+	first bool  // first morsel of its file (no alignment skip, counts FilesRead)
+}
+
+// wholeFile reports whether the morsel covers its file entirely.
+func (m morsel) wholeFile() bool { return m.start == 0 && m.end < 0 }
+
+// wrap attaches the failing location to a scan error: the file path for a
+// whole-file morsel, the file path plus the byte range for a split one.
+func (m morsel) wrap(err error) error {
+	if m.wholeFile() {
+		return fmt.Errorf("%s: %w", m.file, err)
+	}
+	return fmt.Errorf("%s[%d:%d): %w", m.file, m.start, m.end, err)
+}
+
+// morselQueue is the per-scan-fragment work queue. In shared mode (the
+// pipelined executor) every task drains one atomic cursor, which is
+// work-stealing in effect: a task that finishes its morsel takes the next
+// available one, so fast partitions absorb the tail of a skewed file set.
+// In static mode (the staged executor, which runs tasks sequentially to
+// measure clean per-task times) morsels are dealt round-robin by index, so
+// each task's workload — and therefore its measured time — is deterministic.
+type morselQueue struct {
+	morsels []morsel
+	shared  bool
+	parts   int
+	cursor  atomic.Int64
+	local   []int // static mode: per-partition count of morsels already taken
+}
+
+func newMorselQueue(morsels []morsel, partitions int, shared bool) *morselQueue {
+	if partitions <= 0 {
+		partitions = 1
+	}
+	return &morselQueue{
+		morsels: morsels,
+		shared:  shared,
+		parts:   partitions,
+		local:   make([]int, partitions),
+	}
+}
+
+// take returns the next morsel for the given partition, or ok=false when the
+// partition's work is exhausted. Safe for concurrent use in shared mode.
+func (q *morselQueue) take(partition int) (morsel, bool) {
+	if q.shared {
+		i := q.cursor.Add(1) - 1
+		if i >= int64(len(q.morsels)) {
+			return morsel{}, false
+		}
+		return q.morsels[i], true
+	}
+	if partition < 0 || partition >= q.parts {
+		return morsel{}, false
+	}
+	i := q.local[partition]*q.parts + partition
+	if i >= len(q.morsels) {
+		return morsel{}, false
+	}
+	q.local[partition]++
+	return q.morsels[i], true
+}
+
+// buildMorselQueue lists a scan's files, prunes those a zone-map index rules
+// out, and splits the survivors into morsels. Raw-JSON files are split when
+// the source can report their size and reopen them at an offset; everything
+// else (binary ADM documents, sources without range support) degrades to one
+// whole-file morsel, which is exactly the pre-morsel behaviour. It returns
+// the queue and the number of files pruned.
+func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
+	partitions int, morselSize int64, shared bool) (*morselQueue, int64, error) {
+	if src == nil {
+		return nil, 0, fmt.Errorf("hyracks: scan without a data source")
+	}
+	files, err := src.Files(s.Collection)
+	if err != nil {
+		return nil, 0, err
+	}
+	if morselSize <= 0 {
+		morselSize = DefaultMorselSize
+	}
+	_, canRange := src.(runtime.RangeOpener)
+	sz, canSize := src.(runtime.Sizer)
+	var (
+		morsels []morsel
+		skipped int64
+	)
+	for _, file := range files {
+		if s.Filter != nil && idx != nil {
+			if r, ok := idx.FileRange(s.Collection, s.Filter.Path, file); ok && !s.Filter.Admits(r) {
+				skipped++
+				continue
+			}
+		}
+		split := false
+		if s.Format == FormatJSON && canRange && canSize {
+			size, err := sz.Size(file)
+			if err == nil && size > morselSize {
+				for off := int64(0); off < size; off += morselSize {
+					end := off + morselSize
+					if end > size {
+						end = size
+					}
+					morsels = append(morsels, morsel{file: file, start: off, end: end, first: off == 0})
+				}
+				split = true
+			}
+		}
+		if !split {
+			morsels = append(morsels, morsel{file: file, start: 0, end: -1, first: true})
+		}
+	}
+	return newMorselQueue(morsels, partitions, shared), skipped, nil
+}

@@ -51,17 +51,19 @@ func (o *assignOp) Open() error {
 }
 
 func (o *assignOp) Push(fr *frame.Frame) error {
+	defer o.ctx.recycle(fr)
+	var out [][]byte // per-frame scratch; emit copies the bytes it frames
 	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
-		outFields := append([][]byte(nil), raw...)
+		out = append(out[:0], raw...)
 		for _, ev := range o.spec.Evals {
 			v, err := ev.Eval(o.ctx.RT, fields)
 			if err != nil {
 				return err
 			}
 			fields = append(fields, v)
-			outFields = append(outFields, item.EncodeSeq(nil, v))
+			out = append(out, item.EncodeSeq(nil, v))
 		}
-		outFields, err := applyOutCols(outFields, o.spec.OutCols)
+		outFields, err := applyOutCols(out, o.spec.OutCols)
 		if err != nil {
 			return err
 		}
@@ -107,6 +109,7 @@ func (o *selectOp) Open() error {
 }
 
 func (o *selectOp) Push(fr *frame.Frame) error {
+	defer o.ctx.recycle(fr)
 	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
 		v, err := o.spec.Cond.Eval(o.ctx.RT, fields)
 		if err != nil {
@@ -163,15 +166,21 @@ func (o *unnestOp) Open() error {
 }
 
 func (o *unnestOp) Push(fr *frame.Frame) error {
+	defer o.ctx.recycle(fr)
+	var (
+		out [][]byte // per-frame scratch; emit copies the bytes it frames
+		enc []byte
+	)
 	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
 		v, err := o.spec.Expr.Eval(o.ctx.RT, fields)
 		if err != nil {
 			return err
 		}
 		for _, it := range v {
-			outFields := append([][]byte(nil), raw...)
-			outFields = append(outFields, item.EncodeSeq(nil, item.Single(it)))
-			outFields, err := applyOutCols(outFields, o.spec.OutCols)
+			enc = item.EncodeSeq(enc[:0], item.Single(it))
+			out = append(out[:0], raw...)
+			out = append(out, enc)
+			outFields, err := applyOutCols(out, o.spec.OutCols)
 			if err != nil {
 				return err
 			}
@@ -234,8 +243,11 @@ func (o *projectOp) Open() error {
 }
 
 func (o *projectOp) Push(fr *frame.Frame) error {
-	return forEachTuple(fr, func(_ []item.Sequence, raw [][]byte) error {
-		outFields := make([][]byte, len(o.spec.Cols))
+	defer o.ctx.recycle(fr)
+	// Projection never looks at field values: route raw bytes only, through
+	// one scratch slice reused for every tuple of the frame.
+	outFields := make([][]byte, len(o.spec.Cols))
+	return forEachTupleRaw(fr, func(raw [][]byte) error {
 		for i, c := range o.spec.Cols {
 			if c < 0 || c >= len(raw) {
 				return fmt.Errorf("hyracks: project column %d out of range [0,%d)", c, len(raw))
@@ -293,6 +305,7 @@ func (o *aggregateOp) Open() error {
 }
 
 func (o *aggregateOp) Push(fr *frame.Frame) error {
+	defer o.ctx.recycle(fr)
 	return forEachTuple(fr, func(fields []item.Sequence, _ [][]byte) error {
 		for i, a := range o.spec.Aggs {
 			v, err := a.Arg.Eval(o.ctx.RT, fields)
@@ -368,19 +381,24 @@ func (o *groupByOp) Open() error {
 }
 
 func (o *groupByOp) Push(fr *frame.Frame) error {
+	defer o.ctx.recycle(fr)
+	// Keys are evaluated into one scratch slice per frame; it is copied only
+	// when a new group is created (the evaluated sequences themselves are
+	// fresh per tuple and never alias the frame, so retaining them is safe).
+	keyScratch := make([]item.Sequence, len(o.spec.Keys))
 	return forEachTuple(fr, func(fields []item.Sequence, _ [][]byte) error {
-		keySeqs := make([]item.Sequence, len(o.spec.Keys))
 		var h uint64 = 1469598103934665603
 		for i, k := range o.spec.Keys {
 			v, err := k.Eval(o.ctx.RT, fields)
 			if err != nil {
 				return err
 			}
-			keySeqs[i] = v
+			keyScratch[i] = v
 			h = h*1099511628211 ^ item.HashSeq(v)
 		}
-		g := o.lookup(h, keySeqs)
+		g := o.lookup(h, keyScratch)
 		if g == nil {
+			keySeqs := append([]item.Sequence(nil), keyScratch...)
 			g = &group{keySeqs: keySeqs, states: make([]runtime.AggState, len(o.spec.Aggs))}
 			g.keyFields = frame.EncodeFields(keySeqs)
 			for i, a := range o.spec.Aggs {
@@ -498,13 +516,14 @@ func (o *subplanOp) Open() error {
 }
 
 func (o *subplanOp) Push(fr *frame.Frame) error {
+	defer o.ctx.recycle(fr)
 	return forEachTuple(fr, func(_ []item.Sequence, raw [][]byte) error {
 		sink := &CollectSink{}
-		w := BuildChain(o.ctx, o.spec.Nested, sink)
+		w := BuildChain(o.ctx, o.spec.Nested, recycleSink{ctx: o.ctx, w: sink})
 		if err := w.Open(); err != nil {
 			return err
 		}
-		inner := frame.New(o.ctx.frameSize())
+		inner := o.ctx.newFrame()
 		inner.AppendTuple(raw)
 		if err := w.Push(inner); err != nil {
 			return err
@@ -579,6 +598,7 @@ type sortOp struct {
 func (o *sortOp) Open() error { return o.out.Open() }
 
 func (o *sortOp) Push(fr *frame.Frame) error {
+	defer o.ctx.recycle(fr)
 	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
 		keys := make([]item.Sequence, len(o.spec.Keys))
 		for i, k := range o.spec.Keys {

@@ -19,6 +19,14 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 		return nil, err
 	}
 	acct := env.accountant()
+	pool := env.pool()
+	// Shared morsel queues: every task of a scan fragment drains the same
+	// atomic cursor, so partitions steal work from each other and a skewed
+	// file set no longer leaves stragglers.
+	queues, skipped, err := buildScanQueues(job, env, true)
+	if err != nil {
+		return nil, err
+	}
 	depth := env.ChannelDepth
 	if depth <= 0 {
 		depth = 4
@@ -63,6 +71,7 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 		wg        sync.WaitGroup
 		res       = &Result{}
 	)
+	res.Stats.FilesSkipped = skipped
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
@@ -86,7 +95,7 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 					ChunkSize:  env.ChunkSize,
 					Indexes:    env.Indexes,
 				}
-				ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize}
+				ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, Pool: pool, morsels: queues[f.ID]}
 				var terminal Writer
 				if f.SinkExchange >= 0 {
 					e := job.exchange(f.SinkExchange)
@@ -100,7 +109,7 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 						done:   func() { ec.producers.Done() },
 					}
 				} else {
-					terminal = &lockedSink{sink: collector, mu: &colMu}
+					terminal = recycleSink{ctx: ctx, w: &lockedSink{sink: collector, mu: &colMu}}
 				}
 				chain := BuildChain(ctx, f.Ops, terminal)
 				in := sourceInput{recv: func(exchID int, each func(*frame.Frame) error) error {
@@ -126,7 +135,9 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 				err := runSource(ctx, f, chain, in)
 				elapsed := time.Since(start)
 				mu.Lock()
-				res.Tasks = append(res.Tasks, TaskTime{Fragment: f.ID, Partition: p, Elapsed: elapsed})
+				res.Tasks = append(res.Tasks, TaskTime{
+					Fragment: f.ID, Partition: p, Elapsed: elapsed, Morsels: ctx.MorselsScanned,
+				})
 				res.Stats.Add(rt.Stats)
 				mu.Unlock()
 				// A task torn down after another task's failure may surface

@@ -17,12 +17,22 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 		return nil, err
 	}
 	acct := env.accountant()
+	pool := env.pool()
+	// Statically dealt morsel queues: tasks run one after another here, so a
+	// shared cursor would hand every morsel to whichever task runs first.
+	// Round-robin dealing keeps per-task work — and the measured times the
+	// virtual-time scheduler consumes — deterministic.
+	queues, skipped, err := buildScanQueues(job, env, false)
+	if err != nil {
+		return nil, err
+	}
 	// exchange buffers: exchange id -> consumer partition -> frames.
 	buffers := make(map[int][][]*frame.Frame)
 	for _, e := range job.Exchanges {
 		buffers[e.ID] = make([][]*frame.Frame, e.ConsumerPartitions)
 	}
 	res := &Result{}
+	res.Stats.FilesSkipped = skipped
 	collector := &CollectSink{}
 	for _, f := range job.Fragments {
 		for p := 0; p < f.Partitions; p++ {
@@ -34,7 +44,7 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 				ChunkSize:  env.ChunkSize,
 				Indexes:    env.Indexes,
 			}
-			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize}
+			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, Pool: pool, morsels: queues[f.ID]}
 			var terminal Writer
 			if f.SinkExchange >= 0 {
 				e := job.exchange(f.SinkExchange)
@@ -44,7 +54,7 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 				}
 				terminal = newExchangeWriter(ctx, e, dests)
 			} else {
-				terminal = collector
+				terminal = recycleSink{ctx: ctx, w: collector}
 			}
 			chain := BuildChain(ctx, f.Ops, terminal)
 			in := sourceInput{recv: func(exchID int, each func(*frame.Frame) error) error {
@@ -58,7 +68,9 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 			start := time.Now()
 			err := runSource(ctx, f, chain, in)
 			elapsed := time.Since(start)
-			res.Tasks = append(res.Tasks, TaskTime{Fragment: f.ID, Partition: p, Elapsed: elapsed})
+			res.Tasks = append(res.Tasks, TaskTime{
+				Fragment: f.ID, Partition: p, Elapsed: elapsed, Morsels: ctx.MorselsScanned,
+			})
 			res.Stats.Add(rt.Stats)
 			if err != nil {
 				return nil, err

@@ -36,6 +36,14 @@ type TaskCtx struct {
 	RT        *runtime.Ctx
 	Partition int
 	FrameSize int
+	// Pool recycles output frames across operators and tasks (may be nil,
+	// in which case frames are plainly allocated and never returned).
+	Pool *frame.Pool
+	// morsels is the scan work queue shared by the fragment's tasks (nil for
+	// non-scan fragments and for fragments run outside an executor).
+	morsels *morselQueue
+	// MorselsScanned counts the morsels this task processed.
+	MorselsScanned int
 }
 
 func (c *TaskCtx) frameSize() int {
@@ -48,6 +56,24 @@ func (c *TaskCtx) frameSize() int {
 	return frame.DefaultFrameSize
 }
 
+// newFrame obtains an empty output frame, recycled when a pool is present.
+// Ownership rule (see DESIGN.md): ownership transfers with Push, and the
+// receiver — the operator or sink that consumed the frame's tuples — returns
+// it with recycle.
+func (c *TaskCtx) newFrame() *frame.Frame {
+	if c.Pool != nil {
+		return c.Pool.Get()
+	}
+	return frame.New(c.frameSize())
+}
+
+// recycle returns a consumed frame to the pool (a no-op without one).
+func (c *TaskCtx) recycle(f *frame.Frame) {
+	if c.Pool != nil {
+		c.Pool.Put(f)
+	}
+}
+
 // account charges n bytes to the accountant while f runs.
 func (c *TaskCtx) account(n int64) func() {
 	if c.RT == nil || c.RT.Accountant == nil || n == 0 {
@@ -58,7 +84,10 @@ func (c *TaskCtx) account(n int64) func() {
 }
 
 // frameBuilder accumulates output tuples into frames and pushes full frames
-// downstream. It is the standard tail of every operator implementation.
+// downstream. It is the standard tail of every operator implementation. The
+// current frame is obtained lazily from the pool on the first emit (so the
+// idle builders of a wide hash exchange hold nothing) and ownership passes
+// downstream with each Push.
 type frameBuilder struct {
 	ctx *TaskCtx
 	out Writer
@@ -66,10 +95,13 @@ type frameBuilder struct {
 }
 
 func newFrameBuilder(ctx *TaskCtx, out Writer) *frameBuilder {
-	return &frameBuilder{ctx: ctx, out: out, fr: frame.New(ctx.frameSize())}
+	return &frameBuilder{ctx: ctx, out: out}
 }
 
 func (b *frameBuilder) emit(fields [][]byte) error {
+	if b.fr == nil {
+		b.fr = b.ctx.newFrame()
+	}
 	if b.fr.AppendTuple(fields) {
 		if b.fr.Oversize() {
 			// An oversized tuple occupies its own frame; ship it at once.
@@ -80,6 +112,7 @@ func (b *frameBuilder) emit(fields [][]byte) error {
 	if err := b.flush(); err != nil {
 		return err
 	}
+	b.fr = b.ctx.newFrame()
 	if !b.fr.AppendTuple(fields) {
 		return fmt.Errorf("hyracks: tuple of %d bytes could not be framed", tupleBytes(fields))
 	}
@@ -102,28 +135,60 @@ func (b *frameBuilder) emitSeqs(seqs []item.Sequence) error {
 }
 
 func (b *frameBuilder) flush() error {
-	if b.fr.TupleCount() == 0 {
+	if b.fr == nil {
 		return nil
 	}
-	release := b.ctx.account(int64(b.fr.Size()))
-	err := b.out.Push(b.fr)
-	release()
-	b.fr = frame.New(b.ctx.frameSize())
-	return err
+	if b.fr.TupleCount() == 0 {
+		b.ctx.recycle(b.fr)
+		b.fr = nil
+		return nil
+	}
+	fr := b.fr
+	b.fr = nil // ownership moves to the receiver, which recycles it
+	return b.out.Push(fr)
 }
 
-// forEachTuple decodes every tuple of a frame and calls f with its fields.
+// forEachTuple decodes every tuple of a frame and calls f with its decoded
+// field sequences and raw field encodings. Both slices are scratch reused
+// from tuple to tuple — a callback that retains them across calls must copy
+// the slice (the sequences and bytes inside are only valid as long as the
+// frame is). The scratch lives on this call's stack, so nested iteration
+// (a subplan pushing an inner frame mid-callback) is safe.
 func forEachTuple(fr *frame.Frame, f func(fields []item.Sequence, raw [][]byte) error) error {
+	var (
+		raw  [][]byte
+		seqs []item.Sequence
+		err  error
+	)
 	for i := 0; i < fr.TupleCount(); i++ {
-		tu, err := fr.Tuple(i)
+		raw, err = fr.TupleFields(i, raw)
 		if err != nil {
 			return err
 		}
-		seqs, err := frame.DecodeFields(tu.Fields())
+		seqs, err = frame.DecodeFieldsInto(seqs, raw)
 		if err != nil {
 			return err
 		}
-		if err := f(seqs, tu.Fields()); err != nil {
+		if err := f(seqs, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachTupleRaw is forEachTuple without the field decode, for consumers
+// that only route or copy raw bytes. The raw slice is scratch, as above.
+func forEachTupleRaw(fr *frame.Frame, f func(raw [][]byte) error) error {
+	var (
+		raw [][]byte
+		err error
+	)
+	for i := 0; i < fr.TupleCount(); i++ {
+		raw, err = fr.TupleFields(i, raw)
+		if err != nil {
+			return err
+		}
+		if err := f(raw); err != nil {
 			return err
 		}
 	}
@@ -140,13 +205,33 @@ type CollectSink struct {
 // Open implements Writer.
 func (s *CollectSink) Open() error { return nil }
 
-// Push decodes and stores all tuples of the frame.
+// Push decodes and stores all tuples of the frame. The fields slice handed
+// to the callback is per-frame scratch, so each stored row is a copy; the
+// decoded sequences themselves never alias the frame and are safe to keep.
 func (s *CollectSink) Push(fr *frame.Frame) error {
 	return forEachTuple(fr, func(fields []item.Sequence, _ [][]byte) error {
-		s.Rows = append(s.Rows, fields)
+		s.Rows = append(s.Rows, append([]item.Sequence(nil), fields...))
 		return nil
 	})
 }
 
 // Close implements Writer.
 func (s *CollectSink) Close() error { return nil }
+
+// recycleSink wraps a terminal writer that copies everything it needs out of
+// each frame during Push (CollectSink and friends), returning the frame to
+// the pool afterwards so terminal fragments participate in recycling too.
+type recycleSink struct {
+	ctx *TaskCtx
+	w   Writer
+}
+
+func (s recycleSink) Open() error { return s.w.Open() }
+
+func (s recycleSink) Push(fr *frame.Frame) error {
+	err := s.w.Push(fr)
+	s.ctx.recycle(fr)
+	return err
+}
+
+func (s recycleSink) Close() error { return s.w.Close() }

@@ -1,0 +1,189 @@
+package item
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// DecodeReader decodes one binary-encoded item streamed from r through a
+// buffered reader of chunkSize bytes, returning the item and the number of
+// encoded bytes consumed. It is the streaming counterpart of Decode: the raw
+// encoding is never materialized whole, so reading a pre-converted (ADM)
+// document costs O(chunk + decoded tree), not O(encoded size + decoded
+// tree). The reader is left positioned just past the item's last byte
+// modulo the buffered look-ahead, so callers that need a trailing-bytes
+// check should read through the returned decoder state instead; TrailingByte
+// reports whether any encoded byte follows the document.
+func DecodeReader(r io.Reader, chunkSize int) (*StreamDecoder, Item, error) {
+	if chunkSize < 16 {
+		chunkSize = 16
+	}
+	d := &StreamDecoder{br: bufio.NewReaderSize(r, chunkSize)}
+	it, err := d.value()
+	return d, it, err
+}
+
+// StreamDecoder is the streaming state of DecodeReader.
+type StreamDecoder struct {
+	br *bufio.Reader
+	n  int64
+}
+
+// Consumed reports the number of encoded bytes decoded so far.
+func (d *StreamDecoder) Consumed() int64 { return d.n }
+
+// TrailingByte reports whether at least one more byte follows the decoded
+// item (trailing content in a single-document file is an error for ADM
+// scans).
+func (d *StreamDecoder) TrailingByte() (bool, error) {
+	_, err := d.br.ReadByte()
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (d *StreamDecoder) readByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err == io.EOF {
+		return 0, fmt.Errorf("item: truncated document")
+	}
+	if err == nil {
+		d.n++
+	}
+	return b, err
+}
+
+func (d *StreamDecoder) readUvarint() (uint64, error) {
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		if shift >= 64 {
+			return 0, fmt.Errorf("item: uvarint overflow")
+		}
+		b, err := d.readByte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+}
+
+func (d *StreamDecoder) readFull(p []byte) error {
+	n, err := io.ReadFull(d.br, p)
+	d.n += int64(n)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("item: truncated document")
+	}
+	return err
+}
+
+// readString reads a uvarint-prefixed string.
+func (d *StreamDecoder) readString() (string, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(math.MaxInt32) {
+		return "", fmt.Errorf("item: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if err := d.readFull(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (d *StreamDecoder) value() (Item, error) {
+	tag, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNull:
+		return Null{}, nil
+	case tagFalse:
+		return Bool(false), nil
+	case tagTrue:
+		return Bool(true), nil
+	case tagNumber:
+		var b [8]byte
+		if err := d.readFull(b[:]); err != nil {
+			return nil, err
+		}
+		bits := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		return Number(math.Float64frombits(bits)), nil
+	case tagString:
+		s, err := d.readString()
+		if err != nil {
+			return nil, err
+		}
+		return String(s), nil
+	case tagArray:
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		arr := make(Array, 0, capHint(n))
+		for i := uint64(0); i < n; i++ {
+			it, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			arr = append(arr, it)
+		}
+		return arr, nil
+	case tagObject:
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]string, 0, capHint(n))
+		vals := make([]Item, 0, capHint(n))
+		for i := uint64(0); i < n; i++ {
+			k, err := d.readString()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		return &Object{keys: keys, vals: vals}, nil
+	case tagDateTime:
+		y, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		var b [5]byte
+		if err := d.readFull(b[:]); err != nil {
+			return nil, err
+		}
+		return DateTime{
+			Year: int(y), Month: int(b[0]), Day: int(b[1]),
+			Hour: int(b[2]), Minute: int(b[3]), Second: int(b[4]),
+		}, nil
+	default:
+		return nil, fmt.Errorf("item: unknown tag 0x%02x", tag)
+	}
+}
+
+// capHint bounds a decoded count before it is trusted as an allocation
+// size, so corrupt headers cannot force huge allocations up front.
+func capHint(n uint64) int {
+	if n > 1024 {
+		return 1024
+	}
+	return int(n)
+}

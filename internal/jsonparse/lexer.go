@@ -116,13 +116,70 @@ func NewLexer(data []byte) *Lexer {
 // when chunkSize <= 0; a small floor applies so the lexer always has enough
 // contiguous lookahead).
 func NewStreamLexer(r io.Reader, chunkSize int) *Lexer {
+	return NewStreamLexerAt(r, chunkSize, 0)
+}
+
+// NewStreamLexerAt is NewStreamLexer for a reader that does not start at the
+// beginning of the file: base is the absolute offset of r's first byte, so
+// Offset and error positions remain absolute file offsets. Byte-range
+// (morsel) scans use it.
+func NewStreamLexerAt(r io.Reader, chunkSize int, base int64) *Lexer {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
 	if chunkSize < minChunkSize {
 		chunkSize = minChunkSize
 	}
-	return &Lexer{r: r, buf: make([]byte, chunkSize)}
+	return &Lexer{r: r, buf: make([]byte, chunkSize), base: base}
+}
+
+// ResetStream rebinds a streaming lexer to a new reader whose first byte
+// sits at absolute offset base, reusing the chunk buffer and the token
+// scratch buffer. It is how a scan task amortizes its lexer allocations
+// across the many files and morsels it processes. Calling it on a lexer
+// built over an in-memory slice allocates a fresh chunk buffer (the slice
+// belongs to the caller and is never written).
+func (l *Lexer) ResetStream(r io.Reader, base int64) {
+	if l.r == nil || len(l.buf) < minChunkSize {
+		l.buf = make([]byte, DefaultChunkSize)
+	}
+	l.r = r
+	l.pos, l.end = 0, 0
+	l.base = base
+	l.eof = false
+	l.Kind, l.Str, l.Num = TokEOF, "", 0
+}
+
+// SkipPastNewline advances the cursor just past the next '\n' byte,
+// reporting false if the input ends first. Raw newlines cannot occur inside
+// JSON strings (control characters must be escaped), so in well-formed
+// newline-delimited input the byte after a '\n' is always between top-level
+// values — the record-alignment rule of morsel scans.
+func (l *Lexer) SkipPastNewline() (bool, error) {
+	for {
+		for l.pos < l.end {
+			if l.buf[l.pos] == '\n' {
+				l.pos++
+				return true, nil
+			}
+			l.pos++
+		}
+		got, err := l.refill()
+		if err != nil {
+			return false, err
+		}
+		if !got {
+			return false, nil
+		}
+	}
+}
+
+// AtEOF reports whether only whitespace remains in the input, consuming it.
+func (l *Lexer) AtEOF() (bool, error) {
+	if err := l.skipSpace(); err != nil {
+		return false, err
+	}
+	return l.pos >= l.end, nil
 }
 
 // Offset reports the absolute byte offset of the lexer cursor in the input

@@ -214,6 +214,40 @@ func ProjectReader(r io.Reader, chunkSize int, path Path, emit func(item.Item) e
 	return projectLexer(NewStreamLexer(r, chunkSize), path, emit)
 }
 
+// ScanValues processes a concatenated stream of top-level JSON values (the
+// generalization of a single-document file: NDJSON, newline-separated
+// records, or one whole document), applying path to each value and emitting
+// the projected items. Only values whose first byte lies at an absolute
+// offset < limit are processed (limit < 0 means unbounded); the value
+// straddling the limit is parsed to completion, which is exactly the morsel
+// ownership rule — a record belongs to the byte range its first byte falls
+// in. It returns the number of top-level values processed.
+func ScanValues(l *Lexer, path Path, limit int64, emit func(item.Item) error) (int, error) {
+	n := 0
+	for {
+		done, err := l.AtEOF()
+		if err != nil {
+			return n, err
+		}
+		if done {
+			return n, nil
+		}
+		if limit >= 0 && int64(l.Offset()) >= limit {
+			return n, nil
+		}
+		if err := l.Next(); err != nil {
+			return n, err
+		}
+		if l.Kind == TokEOF {
+			return n, nil
+		}
+		if err := projectValue(l, path, emit); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
 func projectLexer(l *Lexer, path Path, emit func(item.Item) error) error {
 	if err := l.Next(); err != nil {
 		return err

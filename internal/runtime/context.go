@@ -37,6 +37,21 @@ type Source interface {
 	ReadFile(path string) ([]byte, error)
 }
 
+// RangeOpener is an optional Source capability: opening a file at a byte
+// offset, so a morsel-driven scan can start mid-file without re-reading the
+// prefix. Sources that cannot seek simply omit it and their files degrade to
+// single whole-file morsels.
+type RangeOpener interface {
+	// OpenRange returns a reader positioned at offset bytes into the file.
+	OpenRange(path string, offset int64) (io.ReadCloser, error)
+}
+
+// Sizer is an optional Source capability: reporting a file's size in bytes
+// without reading it, used to split files into morsels up front.
+type Sizer interface {
+	Size(path string) (int64, error)
+}
+
 // ReadAll reads a whole file through src.Open. It is the canonical
 // implementation behind every Source's ReadFile compatibility shim.
 func ReadAll(src interface {
@@ -94,6 +109,28 @@ func (s *DirSource) Files(collection string) ([]string, error) {
 // Open opens one file on disk for streaming reads.
 func (s *DirSource) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
 
+// OpenRange opens one file on disk positioned at a byte offset.
+func (s *DirSource) OpenRange(path string, offset int64) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Size reports one file's size in bytes.
+func (s *DirSource) Size(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
 // ReadFile reads one whole file from disk (compatibility shim over Open).
 func (s *DirSource) ReadFile(path string) ([]byte, error) { return ReadAll(s, path) }
 
@@ -119,15 +156,41 @@ func (s *MemSource) Files(collection string) ([]string, error) {
 
 // Open returns a reader over a stored document.
 func (s *MemSource) Open(path string) (io.ReadCloser, error) {
+	return s.OpenRange(path, 0)
+}
+
+// OpenRange returns a reader over a stored document starting at a byte
+// offset.
+func (s *MemSource) OpenRange(path string, offset int64) (io.ReadCloser, error) {
+	b, ok := s.lookup(path)
+	if !ok {
+		return nil, fmt.Errorf("runtime: no such document %q", path)
+	}
+	if offset > int64(len(b)) {
+		offset = int64(len(b))
+	}
+	return io.NopCloser(bytes.NewReader(b[offset:])), nil
+}
+
+// Size reports a stored document's length.
+func (s *MemSource) Size(path string) (int64, error) {
+	b, ok := s.lookup(path)
+	if !ok {
+		return 0, fmt.Errorf("runtime: no such document %q", path)
+	}
+	return int64(len(b)), nil
+}
+
+func (s *MemSource) lookup(path string) ([]byte, bool) {
 	for coll, docs := range s.Collections {
 		prefix := coll + "/"
 		if len(path) > len(prefix) && path[:len(prefix)] == prefix {
 			if b, ok := docs[path[len(prefix):]]; ok {
-				return io.NopCloser(bytes.NewReader(b)), nil
+				return b, true
 			}
 		}
 	}
-	return nil, fmt.Errorf("runtime: no such document %q", path)
+	return nil, false
 }
 
 // ReadFile returns a stored document (compatibility shim over Open).

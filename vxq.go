@@ -81,6 +81,11 @@ type Options struct {
 	// (0 = unlimited). Exceeding it does not abort execution; it is
 	// reported through Result.PeakMemory versus the limit.
 	MemoryLimit int64
+	// MorselSize is the byte-range granularity of morsel-driven scans
+	// (default 4 MiB). Raw JSON files larger than this are split into
+	// independently schedulable byte ranges, so a handful of oversized files
+	// no longer serializes onto a single partition.
+	MorselSize int64
 	// Staged selects the staged executor (sequential, per-task timing)
 	// instead of the default pipelined (goroutine) executor. Results are
 	// identical.
@@ -180,6 +185,23 @@ func (s *compositeSource) ReadFile(path string) ([]byte, error) {
 	return runtime.ReadAll(s, path)
 }
 
+// OpenRange opens a file at a byte offset, enabling morsel-split scans over
+// both in-memory documents and directory mounts.
+func (s *compositeSource) OpenRange(path string, offset int64) (io.ReadCloser, error) {
+	if rc, err := s.mem.OpenRange(path, offset); err == nil {
+		return rc, nil
+	}
+	return s.dirs.OpenRange(path, offset)
+}
+
+// Size reports a file's size without reading it.
+func (s *compositeSource) Size(path string) (int64, error) {
+	if n, err := s.mem.Size(path); err == nil {
+		return n, nil
+	}
+	return s.dirs.Size(path)
+}
+
 // Result is a query's outcome.
 type Result struct {
 	// Items is the result sequence, one item per result tuple, in a
@@ -209,6 +231,7 @@ func (e *Engine) Query(query string) (*Result, error) {
 		ChunkSize:  e.opts.ScanChunkSize,
 		Accountant: frame.NewAccountant(e.opts.MemoryLimit),
 		Indexes:    e.indexes,
+		MorselSize: e.opts.MorselSize,
 	}
 	var res *hyracks.Result
 	if e.opts.Staged {
