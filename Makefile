@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt vet
+.PHONY: all build test race bench bench-smoke fuzz-smoke fmt vet
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/hyracks ./internal/frame ./internal/cluster
+	$(GO) test -race ./internal/hyracks ./internal/frame ./internal/cluster ./internal/jsonparse
 
 fmt:
 	gofmt -l .
@@ -22,14 +22,22 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the scan skew benchmark at the quick scale and writes the
-# BENCH_scan.json artifact, then runs the Go microbenchmarks with allocation
-# reporting. Add VXQ_SCAN_FULL=1 and `go run ./cmd/benchscan -full` for the
-# acceptance scale (1x64 MiB + 31x2 MiB).
+# BENCH_scan.json artifact, the parse-kernel benchmark writing
+# BENCH_parse.json, then the Go microbenchmarks with allocation reporting.
+# Add VXQ_SCAN_FULL=1 and `go run ./cmd/benchscan -full` for the acceptance
+# scale (1x64 MiB + 31x2 MiB).
 bench:
 	$(GO) run ./cmd/benchscan -out BENCH_scan.json
-	$(GO) test -run='^$$' -bench='Scan|FramePath' -benchmem ./internal/bench
+	$(GO) run ./cmd/benchscan -parse -out BENCH_parse.json
+	$(GO) test -run='^$$' -bench='Scan|FramePath|Project|Skip|Lexer' -benchmem ./internal/bench
 
 # bench-smoke is the CI guard: every benchmark must still run (one
 # iteration), catching bit-rot in the harness without burning CI minutes.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# fuzz-smoke runs the raw-skip differential fuzzer briefly: the structural
+# skip, the token-level reference, and encoding/json must keep agreeing on
+# value extents and verdicts. Seeds under testdata/fuzz are always replayed.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzRawSkipDifferential -fuzztime=10s ./internal/jsonparse

@@ -1,11 +1,15 @@
 // Command benchscan measures the morsel-driven scan scheduler on the skew
 // acceptance workload (one oversized file next to many small ones, versus
 // the same bytes spread evenly) and writes the results as JSON — the
-// BENCH_scan.json artifact produced by `make bench`.
+// BENCH_scan.json artifact produced by `make bench`. With -parse it instead
+// measures the on-demand parse kernel (structural raw-skip vs the
+// token-level reference) on the project-1-field and skip-whole-record
+// shapes, writing BENCH_parse.json.
 //
 // Usage:
 //
 //	benchscan [-full] [-partitions 8] [-runs 3] [-out BENCH_scan.json]
+//	benchscan -parse [-parsedur 1s] [-out BENCH_parse.json]
 package main
 
 import (
@@ -44,8 +48,23 @@ func main() {
 	full := flag.Bool("full", false, "acceptance scale (1x64MiB + 31x2MiB) instead of the quick scale")
 	partitions := flag.Int("partitions", 8, "scan partitions")
 	runs := flag.Int("runs", 3, "timed runs per workload (best run is reported)")
-	out := flag.String("out", "BENCH_scan.json", "output file")
+	out := flag.String("out", "", "output file (default BENCH_scan.json, or BENCH_parse.json with -parse)")
+	parse := flag.Bool("parse", false, "measure the parse kernel instead of the scan scheduler")
+	parseDur := flag.Duration("parsedur", time.Second, "minimum timed duration per parse-kernel configuration")
 	flag.Parse()
+
+	if *parse {
+		if *out == "" {
+			*out = "BENCH_parse.json"
+		}
+		if err := runParseBench(*out, *parseDur); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_scan.json"
+	}
 
 	scale := bench.QuickScanScale()
 	if *full {
@@ -112,6 +131,61 @@ func maxScanTask(res *hyracks.Result) float64 {
 		}
 	}
 	return max.Seconds()
+}
+
+// parseShapeReport pairs the kernel and reference measurements of one shape
+// with the resulting speedup.
+type parseShapeReport struct {
+	Kernel    bench.ParseBenchResult `json:"kernel"`
+	Reference bench.ParseBenchResult `json:"reference"`
+	Speedup   float64                `json:"speedup"`
+}
+
+type parseReport struct {
+	RecordBytes int64                       `json:"record_bytes"`
+	Records     int64                       `json:"records"`
+	TotalBytes  int64                       `json:"total_bytes"`
+	Shapes      map[string]parseShapeReport `json:"shapes"`
+}
+
+// runParseBench measures the on-demand kernel against the token-level
+// reference on both acceptance shapes and writes the BENCH_parse.json
+// artifact.
+func runParseBench(out string, minDur time.Duration) error {
+	data, records := bench.ParseBenchStream(4 << 20)
+	rep := parseReport{
+		RecordBytes: int64(len(data)) / int64(records),
+		Records:     int64(records),
+		TotalBytes:  int64(len(data)),
+		Shapes:      map[string]parseShapeReport{},
+	}
+	for _, shape := range []string{"project1", "skiprecord"} {
+		kernel, err := bench.MeasureParseBench(shape, "kernel", data, records, minDur)
+		if err != nil {
+			return err
+		}
+		ref, err := bench.MeasureParseBench(shape, "reference", data, records, minDur)
+		if err != nil {
+			return err
+		}
+		rep.Shapes[shape] = parseShapeReport{
+			Kernel:    kernel,
+			Reference: ref,
+			Speedup:   ref.Seconds / kernel.Seconds,
+		}
+		fmt.Printf("%s: kernel %.0f MB/s (%.4f allocs/record), reference %.0f MB/s, speedup %.2fx\n",
+			shape, kernel.MBPerSec, kernel.AllocsPerRecord, ref.MBPerSec, rep.Shapes[shape].Speedup)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("-> %s\n", out)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	goruntime "runtime"
+	"testing"
+
+	"vxq/internal/jsonparse"
+)
+
+// The parse-kernel microbenchmarks: tokens flowing through the projector on
+// the project-1-of-N-fields and skip-whole-record shapes, kernel (raw-skip)
+// vs reference (token-skip). Run with -benchmem: the bytes/s column is the
+// headline, and the per-record allocation count is reported as a custom
+// metric.
+
+func benchParseShape(b *testing.B, shape string, reference bool) {
+	b.Helper()
+	data, records := ParseBenchStream(4 << 20)
+	path, err := ParseBenchPath(shape)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	var m0, m1 goruntime.MemStats
+	goruntime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScanParseBench(data, path, reference); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	goruntime.ReadMemStats(&m1)
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(int64(b.N)*int64(records)), "allocs/record")
+}
+
+// BenchmarkProjectOneField: project 1 small field from ~1 KiB records with
+// the on-demand kernel — the acceptance-criteria shape.
+func BenchmarkProjectOneField(b *testing.B) { benchParseShape(b, "project1", false) }
+
+// BenchmarkProjectOneFieldReference is the same shape through the
+// token-level reference skip (the pre-kernel behaviour).
+func BenchmarkProjectOneFieldReference(b *testing.B) { benchParseShape(b, "project1", true) }
+
+// BenchmarkSkipWholeRecord: a projection that matches nothing, so every
+// record is skipped whole — the pure raw-skip throughput ceiling.
+func BenchmarkSkipWholeRecord(b *testing.B) { benchParseShape(b, "skiprecord", false) }
+
+// BenchmarkSkipWholeRecordReference is the token-level counterpart.
+func BenchmarkSkipWholeRecordReference(b *testing.B) { benchParseShape(b, "skiprecord", true) }
+
+// BenchmarkLexerTokens streams every token of the workload through Next —
+// the tokenizer floor without any skip at all (full parse minus tree
+// building).
+func BenchmarkLexerTokens(b *testing.B) {
+	data, _ := ParseBenchStream(4 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := jsonparse.NewLexer(data)
+		for {
+			if err := l.Next(); err != nil {
+				b.Fatal(err)
+			}
+			if l.Kind == jsonparse.TokEOF {
+				break
+			}
+		}
+	}
+}

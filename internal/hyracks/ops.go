@@ -475,8 +475,12 @@ func (o *groupByOp) Close() error {
 	return o.out.Close()
 }
 
-// accountGroupBy charges bytes without pairing the release (the groupByOp
-// releases its total at close).
+// accountHold charges bytes to the accountant without pairing the release:
+// it is the charge half of the hold-until-Close discipline that blocking
+// operators (group-by, sort) follow for retained state. The operator tracks
+// everything it charged in a running total and releases that total exactly
+// once, in a deferred block at Close, so the balance returns to zero on both
+// the clean and the error path.
 func (c *TaskCtx) accountHold(n int64) {
 	if c.RT != nil && c.RT.Accountant != nil && n != 0 {
 		c.RT.Accountant.Allocate(n)
@@ -613,6 +617,11 @@ func (o *sortOp) Push(fr *frame.Frame) error {
 		for i, f := range raw {
 			stored[i] = append([]byte(nil), f...)
 			sz += int64(len(f))
+		}
+		// The evaluated key sequences are retained until Close too — charge
+		// them, not just the raw tuple bytes.
+		for _, k := range keys {
+			sz += item.SizeBytesSeq(k)
 		}
 		o.rows = append(o.rows, sortRow{keys: keys, raw: stored})
 		o.memory += sz

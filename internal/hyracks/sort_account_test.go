@@ -1,0 +1,55 @@
+package hyracks
+
+import (
+	"strings"
+	"testing"
+
+	"vxq/internal/frame"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+// TestSortAccountsKeyMemory: the sort operator retains both the copied raw
+// tuples and the evaluated key sequences until Close, so Push must charge
+// the keys too, and the Close release must return the balance to exactly
+// zero.
+func TestSortAccountsKeyMemory(t *testing.T) {
+	acct := frame.NewAccountant(0)
+	ctx := &TaskCtx{RT: &runtime.Ctx{Accountant: acct}}
+	sink := &CollectSink{}
+	op := (&SortSpec{Keys: []SortDef{{Key: runtime.ColumnEval{Col: 0}}}, Desc: "test"}).
+		Build(ctx, sink)
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One tuple whose sort key is a fat string: if Push only charged raw
+	// tuple bytes (+48 fixed), the charge could never reach the key's
+	// footprint on top of the tuple copy.
+	key := item.String(strings.Repeat("k", 4096))
+	enc := item.EncodeSeq(nil, item.Single(key))
+	fr := frame.New(0)
+	if !fr.AppendTuple([][]byte{enc}) {
+		t.Fatal("tuple does not fit a default frame")
+	}
+	if err := op.Push(fr); err != nil {
+		t.Fatal(err)
+	}
+
+	rawSz := int64(len(enc)) + 48
+	keySz := item.SizeBytesSeq(item.Single(key))
+	if cur := acct.Current(); cur < rawSz+keySz {
+		t.Errorf("held charge = %d, want >= %d (raw %d + keys %d): key memory untracked",
+			cur, rawSz+keySz, rawSz, keySz)
+	}
+
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cur := acct.Current(); cur != 0 {
+		t.Errorf("balance after Close = %d, want 0", cur)
+	}
+	if len(sink.Rows) != 1 {
+		t.Errorf("sorted rows = %d, want 1", len(sink.Rows))
+	}
+}

@@ -27,9 +27,16 @@ func DecodeReader(r io.Reader, chunkSize int) (*StreamDecoder, Item, error) {
 
 // StreamDecoder is the streaming state of DecodeReader.
 type StreamDecoder struct {
-	br *bufio.Reader
-	n  int64
+	br      *bufio.Reader
+	n       int64
+	keys    map[string]string // object-key intern table
+	scratch []byte            // key bytes before interning
 }
+
+// maxKeyInterns caps the intern table so adversarial documents with
+// unbounded distinct keys cannot grow it without limit; past the cap the
+// decoder falls back to plain allocation per key.
+const maxKeyInterns = 1 << 12
 
 // Consumed reports the number of encoded bytes decoded so far.
 func (d *StreamDecoder) Consumed() int64 { return d.n }
@@ -101,6 +108,38 @@ func (d *StreamDecoder) readString() (string, error) {
 	return string(buf), nil
 }
 
+// readKey reads a uvarint-prefixed object key, interned so that documents
+// with repeating record schemas (the common ADM shape) share one string per
+// distinct key instead of allocating it once per record. The map probe on
+// a []byte compiles without an allocation, so hits are alloc-free.
+func (d *StreamDecoder) readKey() (string, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(math.MaxInt32) {
+		return "", fmt.Errorf("item: implausible string length %d", n)
+	}
+	if uint64(cap(d.scratch)) < n {
+		d.scratch = make([]byte, n)
+	}
+	buf := d.scratch[:n]
+	if err := d.readFull(buf); err != nil {
+		return "", err
+	}
+	if s, ok := d.keys[string(buf)]; ok {
+		return s, nil
+	}
+	s := string(buf)
+	if len(d.keys) < maxKeyInterns {
+		if d.keys == nil {
+			d.keys = make(map[string]string)
+		}
+		d.keys[s] = s
+	}
+	return s, nil
+}
+
 func (d *StreamDecoder) value() (Item, error) {
 	tag, err := d.readByte()
 	if err != nil {
@@ -149,7 +188,7 @@ func (d *StreamDecoder) value() (Item, error) {
 		keys := make([]string, 0, capHint(n))
 		vals := make([]Item, 0, capHint(n))
 		for i := uint64(0); i < n; i++ {
-			k, err := d.readString()
+			k, err := d.readKey()
 			if err != nil {
 				return nil, err
 			}

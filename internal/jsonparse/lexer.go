@@ -8,8 +8,15 @@
 //
 // The tokenizer reads through a fixed-size refillable chunk buffer, so a
 // document streamed from an io.Reader is never materialized: peak memory is
-// O(chunk size), not O(file size). Token values (Str, Num) remain valid
-// across buffer refills, and error offsets are absolute file offsets.
+// O(chunk size), not O(file size). Error offsets are absolute file offsets.
+//
+// The tokenizer is on-demand: string tokens are exposed as byte-slice views
+// (StrBytes) that stay valid until the lexer next advances, object keys that
+// must be materialized share one string through an intern table (InternKey),
+// and number tokens carry their raw text — shape-validated eagerly, but
+// converted to float64 only when a consumer calls NumValue. Subtrees that a
+// projection discards are skipped by SkipValueRaw, a structural scan over
+// raw bytes that never materializes tokens at all.
 package jsonparse
 
 import (
@@ -97,12 +104,26 @@ type Lexer struct {
 	// contains escapes); it is reused across tokens.
 	scratch []byte
 
+	// intern maps object-key bytes to a shared string so a key that repeats
+	// across millions of records is materialized once (see InternKey).
+	intern map[string]string
+
+	// refSkip selects the token-level reference skip instead of the raw
+	// structural skip (differential tests and before/after benchmarks).
+	refSkip bool
+
 	// Current token state, valid after Next.
 	Kind TokenKind
-	// Str holds the decoded string value when Kind==TokString.
-	Str string
-	// Num holds the numeric value when Kind==TokNumber.
-	Num float64
+	// str is the decoded string value when Kind==TokString: a view into the
+	// chunk buffer or the scratch buffer, valid only until the lexer next
+	// advances (Next, AtEOF, SkipValueRaw, ...).
+	str []byte
+	// numRaw is the raw (shape-validated) text when Kind==TokNumber, a view
+	// with the same lifetime as str; numOff is its absolute offset and
+	// numFloat records whether it has a fraction or exponent part.
+	numRaw   []byte
+	numOff   int64
+	numFloat bool
 }
 
 // NewLexer returns a lexer over an in-memory document. The slice is never
@@ -134,11 +155,13 @@ func NewStreamLexerAt(r io.Reader, chunkSize int, base int64) *Lexer {
 }
 
 // ResetStream rebinds a streaming lexer to a new reader whose first byte
-// sits at absolute offset base, reusing the chunk buffer and the token
-// scratch buffer. It is how a scan task amortizes its lexer allocations
-// across the many files and morsels it processes. Calling it on a lexer
-// built over an in-memory slice allocates a fresh chunk buffer (the slice
-// belongs to the caller and is never written).
+// sits at absolute offset base, reusing the chunk buffer, the token scratch
+// buffer, and the object-key intern table. It is how a scan task amortizes
+// its lexer allocations across the many files and morsels it processes (the
+// intern table carrying over is the point: the same record schema repeats
+// across morsels). Calling it on a lexer built over an in-memory slice
+// allocates a fresh chunk buffer (the slice belongs to the caller and is
+// never written).
 func (l *Lexer) ResetStream(r io.Reader, base int64) {
 	if l.r == nil || len(l.buf) < minChunkSize {
 		l.buf = make([]byte, DefaultChunkSize)
@@ -147,7 +170,42 @@ func (l *Lexer) ResetStream(r io.Reader, base int64) {
 	l.pos, l.end = 0, 0
 	l.base = base
 	l.eof = false
-	l.Kind, l.Str, l.Num = TokEOF, "", 0
+	l.Kind, l.str, l.numRaw = TokEOF, nil, nil
+}
+
+// SetReferenceSkip switches the lexer's skip path to the token-level
+// reference implementation (true) or the default structural raw scan
+// (false). It exists for differential tests and before/after benchmarks.
+func (l *Lexer) SetReferenceSkip(on bool) { l.refSkip = on }
+
+// StrBytes returns the decoded string value of the current TokString token
+// as a byte-slice view. The view is only valid until the lexer next
+// advances; callers that keep the value must copy it (StrValue, InternKey).
+func (l *Lexer) StrBytes() []byte { return l.str }
+
+// StrValue materializes the current TokString token as a Go string.
+func (l *Lexer) StrValue() string { return string(l.str) }
+
+// maxInternEntries caps the intern table: document keys number in the dozens
+// in practice, but adversarial input (random keys) must not grow the table
+// without bound. Beyond the cap, keys are materialized per occurrence.
+const maxInternEntries = 1 << 12
+
+// InternKey materializes the current TokString token through the lexer's
+// intern table: every occurrence of the same key bytes returns the same
+// string, so a key repeated across millions of records is allocated once.
+func (l *Lexer) InternKey() string {
+	if s, ok := l.intern[string(l.str)]; ok { // no-alloc map probe
+		return s
+	}
+	s := string(l.str)
+	if l.intern == nil {
+		l.intern = make(map[string]string, 16)
+	}
+	if len(l.intern) < maxInternEntries {
+		l.intern[s] = s
+	}
+	return s
 }
 
 // SkipPastNewline advances the cursor just past the next '\n' byte,
@@ -293,7 +351,7 @@ func (l *Lexer) Next() error {
 		if err != nil {
 			return err
 		}
-		l.Kind, l.Str = TokString, s
+		l.Kind, l.str = TokString, s
 	case 't':
 		if err := l.scanWord("true"); err != nil {
 			return err
@@ -311,11 +369,10 @@ func (l *Lexer) Next() error {
 		l.Kind = TokNull
 	default:
 		if c == '-' || (c >= '0' && c <= '9') {
-			n, err := l.scanNumber()
-			if err != nil {
+			if err := l.scanNumber(); err != nil {
 				return err
 			}
-			l.Kind, l.Num = TokNumber, n
+			l.Kind = TokNumber
 			return nil
 		}
 		return l.errf("unexpected character %q", c)
@@ -335,92 +392,165 @@ func (l *Lexer) scanWord(w string) error {
 	return nil
 }
 
-// isNumChar reports whether c can appear inside a JSON number token.
-func isNumChar(c byte) bool {
-	return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+// Number-scanner states. The scanner is grammar-driven: the token ends at
+// the first byte that is not a valid continuation (matching encoding/json's
+// token boundaries exactly, including the leading-zero rule), instead of
+// swallowing a maximal run of number-shaped characters and validating after.
+type numState uint8
+
+const (
+	numNeg     numState = iota // consumed '-', expect first integer digit
+	numZero                    // consumed a leading '0' (accepting; no more integer digits)
+	numInt                     // consuming 1-9... integer digits (accepting)
+	numDot                     // consumed '.', expect first fraction digit
+	numFrac                    // consuming fraction digits (accepting)
+	numExpE                    // consumed e/E, expect exponent sign or digit
+	numExpSign                 // consumed exponent sign, expect exponent digit
+	numExp                     // consuming exponent digits (accepting)
+)
+
+// numStep advances the number grammar by one byte, reporting whether the
+// byte belongs to the token (ok=false means the token ends before c).
+func numStep(st numState, c byte) (numState, bool) {
+	switch st {
+	case numNeg:
+		if c == '0' {
+			return numZero, true
+		}
+		if c >= '1' && c <= '9' {
+			return numInt, true
+		}
+	case numZero:
+		if c == '.' {
+			return numDot, true
+		}
+		if c == 'e' || c == 'E' {
+			return numExpE, true
+		}
+	case numInt:
+		if c >= '0' && c <= '9' {
+			return numInt, true
+		}
+		if c == '.' {
+			return numDot, true
+		}
+		if c == 'e' || c == 'E' {
+			return numExpE, true
+		}
+	case numDot:
+		if c >= '0' && c <= '9' {
+			return numFrac, true
+		}
+	case numFrac:
+		if c >= '0' && c <= '9' {
+			return numFrac, true
+		}
+		if c == 'e' || c == 'E' {
+			return numExpE, true
+		}
+	case numExpE:
+		if c == '+' || c == '-' {
+			return numExpSign, true
+		}
+		if c >= '0' && c <= '9' {
+			return numExp, true
+		}
+	case numExpSign:
+		if c >= '0' && c <= '9' {
+			return numExp, true
+		}
+	case numExp:
+		if c >= '0' && c <= '9' {
+			return numExp, true
+		}
+	}
+	return st, false
 }
 
-func (l *Lexer) scanNumber() (float64, error) {
-	// Collect the maximal run of number-shaped characters, then validate
-	// its shape. The run almost always sits inside one chunk (fast path:
-	// the text aliases the buffer); when it crosses a refill boundary it is
-	// accumulated in scratch so the value survives compaction.
+// scanNumber collects one number token into a view (numRaw), deferring the
+// float64 conversion to NumValue. The token almost always sits inside one
+// chunk (fast path: the view aliases the buffer); when it crosses a refill
+// boundary it is accumulated in scratch so the view survives compaction.
+func (l *Lexer) scanNumber() error {
 	off := int64(l.Offset())
 	l.scratch = l.scratch[:0]
-	var text []byte
+	useScratch := false
 	start := l.pos
-	for {
-		p := l.pos
-		for p < l.end && isNumChar(l.buf[p]) {
-			p++
-		}
-		if p < l.end || l.eof {
-			if len(l.scratch) == 0 {
-				text = l.buf[start:p]
-			} else {
-				l.scratch = append(l.scratch, l.buf[l.pos:p]...)
-				text = l.scratch
-			}
-			l.pos = p
-			break
-		}
-		// The run reaches the end of the window: stash it and refill.
-		l.scratch = append(l.scratch, l.buf[l.pos:p]...)
-		l.pos = p
-		if _, err := l.refill(); err != nil {
-			return 0, err
-		}
-		start = l.pos
+	isFloat := false
+	// The first byte is '-' or a digit (Next dispatched on it).
+	var st numState
+	switch c := l.buf[l.pos]; {
+	case c == '-':
+		st = numNeg
+	case c == '0':
+		st = numZero
+	default:
+		st = numInt
 	}
-	return l.parseNumber(off, text)
+	l.pos++
+	for {
+		if l.pos >= l.end {
+			// Window exhausted mid-token: stash the segment and refill.
+			l.scratch = append(l.scratch, l.buf[start:l.pos]...)
+			useScratch = true
+			got, err := l.refill()
+			if err != nil {
+				return err
+			}
+			start = l.pos
+			if !got {
+				break // end of input ends the token
+			}
+			continue
+		}
+		c := l.buf[l.pos]
+		next, ok := numStep(st, c)
+		if !ok {
+			break // c belongs to the next token
+		}
+		if c == '.' || c == 'e' || c == 'E' {
+			isFloat = true
+		}
+		st = next
+		l.pos++
+	}
+	switch st {
+	case numNeg:
+		return l.errfAt(off, "malformed number")
+	case numDot:
+		return l.errfAt(off, "malformed number: no digits after point")
+	case numExpE, numExpSign:
+		return l.errfAt(off, "malformed number: no exponent digits")
+	}
+	var text []byte
+	if !useScratch {
+		text = l.buf[start:l.pos]
+	} else {
+		l.scratch = append(l.scratch, l.buf[start:l.pos]...)
+		text = l.scratch
+	}
+	l.numRaw, l.numOff, l.numFloat = text, off, isFloat
+	return nil
 }
 
-// parseNumber validates and converts one complete number token.
-func (l *Lexer) parseNumber(off int64, text []byte) (float64, error) {
-	p := 0
-	if p < len(text) && text[p] == '-' {
-		p++
-	}
-	digits := 0
-	for p < len(text) && text[p] >= '0' && text[p] <= '9' {
-		p++
-		digits++
-	}
-	if digits == 0 {
-		return 0, l.errfAt(off, "malformed number")
-	}
-	isFloat := false
-	if p < len(text) && text[p] == '.' {
-		isFloat = true
-		p++
-		fd := 0
-		for p < len(text) && text[p] >= '0' && text[p] <= '9' {
-			p++
-			fd++
-		}
-		if fd == 0 {
-			return 0, l.errfAt(off, "malformed number: no digits after point")
-		}
-	}
-	if p < len(text) && (text[p] == 'e' || text[p] == 'E') {
-		isFloat = true
-		p++
-		if p < len(text) && (text[p] == '+' || text[p] == '-') {
-			p++
-		}
-		ed := 0
-		for p < len(text) && text[p] >= '0' && text[p] <= '9' {
-			p++
-			ed++
-		}
-		if ed == 0 {
-			return 0, l.errfAt(off, "malformed number: no exponent digits")
-		}
-	}
-	if p != len(text) {
-		return 0, l.errfAt(off, "malformed number %q", text)
-	}
-	if !isFloat && len(text) <= 15 {
+// pow10 holds the powers of ten that float64 represents exactly, the divisor
+// range of the no-alloc decimal fast path.
+var pow10 = [23]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// NumValue converts the current TokNumber token. The integer and
+// simple-decimal forms that dominate sensor data convert without allocating:
+// a mantissa of at most 15 digits and no exponent is exact in float64, and
+// dividing it by an exactly-representable power of ten is a single correctly
+// rounded operation, so the result is bit-identical to strconv's. Everything
+// else falls back to strconv.ParseFloat. Out-of-range values (e.g. 1e999)
+// report the same malformed-number error the eager lexer did, now at first
+// use instead of at tokenization.
+func (l *Lexer) NumValue() (float64, error) {
+	text := l.numRaw
+	if !l.numFloat && len(text) <= 15 {
 		// Fast integer path (fits float64 exactly).
 		neg := false
 		i := 0
@@ -436,18 +566,55 @@ func (l *Lexer) parseNumber(off int64, text []byte) (float64, error) {
 		}
 		return float64(v), nil
 	}
+	// Fast decimal path: [-]digits.digits with <= 15 significant digits and
+	// a fraction short enough that its power-of-ten divisor is exact.
+	if l.numFloat {
+		neg := false
+		i := 0
+		if text[0] == '-' {
+			neg, i = true, 1
+		}
+		var mant int64
+		digits, frac := 0, -1
+		ok := true
+		for ; i < len(text); i++ {
+			c := text[i]
+			if c == '.' {
+				frac = 0
+				continue
+			}
+			if c < '0' || c > '9' {
+				ok = false // exponent form: fall back
+				break
+			}
+			mant = mant*10 + int64(c-'0')
+			digits++
+			if frac >= 0 {
+				frac++
+			}
+		}
+		if ok && digits <= 15 && frac >= 1 && frac < len(pow10) {
+			f := float64(mant) / pow10[frac]
+			if neg {
+				f = -f
+			}
+			return f, nil
+		}
+	}
 	f, err := strconv.ParseFloat(string(text), 64)
 	if err != nil || math.IsInf(f, 0) {
-		return 0, l.errfAt(off, "malformed number %q", text)
+		return 0, l.errfAt(l.numOff, "malformed number %q", text)
 	}
 	return f, nil
 }
 
-func (l *Lexer) scanString() (string, error) {
+func (l *Lexer) scanString() ([]byte, error) {
 	// l.buf[l.pos] == '"'. Unescaped segments are scanned in place; as soon
 	// as the string contains an escape or spans a refill boundary the
 	// decoded bytes accumulate in scratch instead, so the value never
-	// depends on buffer contents that compaction may discard.
+	// depends on buffer contents that compaction may discard. The returned
+	// slice is a view (into buf or scratch), not a copy: it stays valid only
+	// until the lexer next advances.
 	l.pos++
 	l.scratch = l.scratch[:0]
 	direct := true // the value is a single in-buffer segment, no copy yet
@@ -457,12 +624,12 @@ func (l *Lexer) scanString() (string, error) {
 		for p < l.end {
 			c := l.buf[p]
 			if c == '"' {
-				var s string
+				var s []byte
 				if direct {
-					s = string(l.buf[segStart:p])
+					s = l.buf[segStart:p]
 				} else {
 					l.scratch = append(l.scratch, l.buf[segStart:p]...)
-					s = string(l.scratch)
+					s = l.scratch
 				}
 				l.pos = p + 1
 				return s, nil
@@ -472,7 +639,7 @@ func (l *Lexer) scanString() (string, error) {
 				direct = false
 				l.pos = p
 				if err := l.scanEscape(); err != nil {
-					return "", err
+					return nil, err
 				}
 				segStart = l.pos
 				p = l.pos
@@ -480,7 +647,7 @@ func (l *Lexer) scanString() (string, error) {
 			}
 			if c < 0x20 {
 				l.pos = p
-				return "", l.errf("control character in string")
+				return nil, l.errf("control character in string")
 			}
 			p++
 		}
@@ -491,12 +658,130 @@ func (l *Lexer) scanString() (string, error) {
 		l.pos = p
 		got, err := l.refill()
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		if !got {
-			return "", l.errf("unterminated string")
+			return nil, l.errf("unterminated string")
 		}
 		segStart = l.pos
+	}
+}
+
+// SkipValueRaw advances over the value whose first token is the current
+// token without tokenizing its interior: a structural scan over raw bytes
+// that tracks brace/bracket depth and string boundaries, never unescapes
+// strings, never shape-checks numbers, and never materializes anything. On
+// return the current token is the value's closing token, exactly as if the
+// token-level reference skip had run — differential tests assert the two
+// consume byte-for-byte the same extent on all valid input.
+//
+// Malformed input inside the skipped region is detected only at structural
+// granularity: unbalanced braces/brackets/quotes, raw control characters in
+// strings, and truncated input still error; bad escapes, malformed numbers,
+// and misplaced colons/commas pass silently (see DESIGN.md, "On-demand scan
+// kernel").
+// Byte classes of the raw structural scan. Every byte that can change the
+// scanner's state is nonzero in rawClass; everything else takes the
+// single-lookup fast path. Control bytes are classed too: inside a string
+// they are an error (matching the tokenizer), outside they are whitespace or
+// junk the token-level reference would also never reject inside a skip.
+const (
+	clsPlain = iota
+	clsQuote
+	clsBackslash
+	clsOpen
+	clsClose
+	clsCtl
+)
+
+var rawClass = func() (t [256]byte) {
+	for c := 0; c < 0x20; c++ {
+		t[c] = clsCtl
+	}
+	t['"'] = clsQuote
+	t['\\'] = clsBackslash
+	t['{'], t['['] = clsOpen, clsOpen
+	t['}'], t[']'] = clsClose, clsClose
+	return
+}()
+
+func (l *Lexer) SkipValueRaw() error {
+	switch l.Kind {
+	case TokNull, TokTrue, TokFalse, TokNumber, TokString:
+		return nil // scalars are fully consumed by Next
+	case TokLBrace, TokLBracket:
+	default:
+		return fmt.Errorf("json: offset %d: unexpected token %s", l.Offset(), l.Kind)
+	}
+	open := l.Kind
+	depth := 1
+	inStr, esc := false, false
+	for {
+		// Scan the current window with local copies of the hot fields; the
+		// compiler keeps them in registers. esc survives the window edge, so
+		// a backslash as the last byte before a refill straddles correctly.
+		buf, p, end := l.buf, l.pos, l.end
+		for p < end {
+			c := buf[p]
+			if esc {
+				esc = false
+				p++
+				continue
+			}
+			k := rawClass[c]
+			if k == clsPlain {
+				p++
+				continue
+			}
+			if inStr {
+				switch k {
+				case clsQuote:
+					inStr = false
+				case clsBackslash:
+					esc = true
+				case clsCtl:
+					l.pos = p
+					return l.errf("control character in string")
+				}
+				p++
+				continue
+			}
+			switch k {
+			case clsQuote:
+				inStr = true
+			case clsOpen:
+				depth++
+			case clsClose:
+				// One shared depth counter for both bracket kinds, matching
+				// the token-level reference (which also accepts mismatched
+				// closers inside skipped regions).
+				depth--
+				if depth == 0 {
+					l.pos = p + 1
+					if c == '}' {
+						l.Kind = TokRBrace
+					} else {
+						l.Kind = TokRBracket
+					}
+					return nil
+				}
+			}
+			p++
+		}
+		l.pos = p
+		got, err := l.refill()
+		if err != nil {
+			return err
+		}
+		if !got {
+			if inStr {
+				return l.errf("unterminated string")
+			}
+			if open == TokLBrace {
+				return fmt.Errorf("json: unexpected end of input in object")
+			}
+			return fmt.Errorf("json: unexpected end of input in array")
+		}
 	}
 }
 

@@ -50,9 +50,13 @@ func parseValue(l *Lexer) (item.Item, error) {
 	case TokFalse:
 		return item.Bool(false), nil
 	case TokNumber:
-		return item.Number(l.Num), nil
+		n, err := l.NumValue()
+		if err != nil {
+			return nil, err
+		}
+		return item.Number(n), nil
 	case TokString:
-		return item.String(l.Str), nil
+		return item.String(l.StrValue()), nil
 	case TokLBracket:
 		return parseArray(l)
 	case TokLBrace:
@@ -107,7 +111,7 @@ func parseObject(l *Lexer) (item.Item, error) {
 		if l.Kind != TokString {
 			return nil, fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
 		}
-		key := l.Str
+		key := l.InternKey()
 		if err := l.Next(); err != nil {
 			return nil, err
 		}
@@ -139,9 +143,23 @@ func parseObject(l *Lexer) (item.Item, error) {
 	}
 }
 
-// skipValue consumes the value whose first token is the current token
+// skipCurrent consumes the value whose first token is the current token
 // without materializing anything; on return the current token is the
-// value's last token.
+// value's last token. It normally runs the structural raw scan
+// (Lexer.SkipValueRaw); a lexer put in reference mode (SetReferenceSkip)
+// uses the token-level skipValue instead, which differential tests and the
+// before/after benchmarks compare against.
+func skipCurrent(l *Lexer) error {
+	if l.refSkip {
+		return skipValue(l)
+	}
+	return l.SkipValueRaw()
+}
+
+// skipValue is the token-level reference skip: it drives the lexer through
+// every token of the skipped value. It costs full tokenization (escape
+// decoding, number shape checks) and exists as the differential-testing
+// oracle for SkipValueRaw.
 func skipValue(l *Lexer) error {
 	switch l.Kind {
 	case TokNull, TokTrue, TokFalse, TokNumber, TokString:

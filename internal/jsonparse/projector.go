@@ -284,7 +284,7 @@ func projectValue(l *Lexer, path Path, emit func(item.Item) error) error {
 		case StepMembers:
 			return projectObjectKeys(l, rest, emit)
 		default: // StepIndex on an object yields nothing.
-			return skipValue(l)
+			return skipCurrent(l)
 		}
 	case TokLBracket:
 		switch step.Kind {
@@ -293,12 +293,27 @@ func projectValue(l *Lexer, path Path, emit func(item.Item) error) error {
 		case StepIndex:
 			return projectArrayIndex(l, step.Index, rest, emit)
 		default: // StepKey on an array yields nothing.
-			return skipValue(l)
+			return skipCurrent(l)
 		}
 	default:
 		// A scalar with remaining path steps yields nothing.
-		return skipValue(l)
+		return skipCurrent(l)
 	}
+}
+
+// bytesEqString reports b == s without converting either side (neither
+// []byte(s) nor string(b) — the projector compares one candidate key per
+// object member, so an allocation here would dominate the skip path).
+func bytesEqString(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func projectObjectKey(l *Lexer, key string, rest Path, emit func(item.Item) error) error {
@@ -313,7 +328,7 @@ func projectObjectKey(l *Lexer, key string, rest Path, emit func(item.Item) erro
 		if l.Kind != TokString {
 			return fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
 		}
-		match := l.Str == key
+		match := bytesEqString(l.StrBytes(), key)
 		if err := l.Next(); err != nil {
 			return err
 		}
@@ -327,7 +342,7 @@ func projectObjectKey(l *Lexer, key string, rest Path, emit func(item.Item) erro
 			if err := projectValue(l, rest, emit); err != nil {
 				return err
 			}
-		} else if err := skipValue(l); err != nil {
+		} else if err := skipCurrent(l); err != nil {
 			return err
 		}
 		if err := l.Next(); err != nil {
@@ -361,7 +376,7 @@ func projectObjectKeys(l *Lexer, rest Path, emit func(item.Item) error) error {
 			return fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
 		}
 		if len(rest) == 0 {
-			if err := emit(item.String(l.Str)); err != nil {
+			if err := emit(item.String(l.InternKey())); err != nil {
 				return err
 			}
 		}
@@ -374,7 +389,7 @@ func projectObjectKeys(l *Lexer, rest Path, emit func(item.Item) error) error {
 		if err := l.Next(); err != nil {
 			return err
 		}
-		if err := skipValue(l); err != nil {
+		if err := skipCurrent(l); err != nil {
 			return err
 		}
 		if err := l.Next(); err != nil {
@@ -433,7 +448,7 @@ func projectArrayIndex(l *Lexer, index int, rest Path, emit func(item.Item) erro
 			if err := projectValue(l, rest, emit); err != nil {
 				return err
 			}
-		} else if err := skipValue(l); err != nil {
+		} else if err := skipCurrent(l); err != nil {
 			return err
 		}
 		if err := l.Next(); err != nil {

@@ -1,0 +1,276 @@
+package jsonparse
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vxq/internal/item"
+)
+
+// skipChunkSizes are the refill-window sizes the differential tests sweep:
+// the pathological minimum (7 floors to the lexer's 64-byte window, forcing
+// a refill every few tokens), the floor itself, and a size larger than every
+// test document (no refill at all). Chunk 0 selects the in-memory slice
+// lexer instead of a stream lexer.
+var skipChunkSizes = []int{0, 7, 64, 4096}
+
+// runSkip tokenizes the first token of data and skips the first value in the
+// requested mode, returning the absolute end offset of the skipped value.
+func runSkip(data []byte, chunk int, reference bool) (int, error) {
+	var l *Lexer
+	if chunk == 0 {
+		l = NewLexer(data)
+	} else {
+		l = NewStreamLexer(bytes.NewReader(data), chunk)
+	}
+	l.SetReferenceSkip(reference)
+	if err := l.Next(); err != nil {
+		return l.Offset(), err
+	}
+	if l.Kind == TokEOF {
+		return l.Offset(), fmt.Errorf("empty input")
+	}
+	var err error
+	if reference {
+		err = skipValue(l)
+	} else {
+		err = l.SkipValueRaw()
+	}
+	return l.Offset(), err
+}
+
+// jsonOracleExtent decodes the first value of data with encoding/json,
+// returning the end offset of the value, or ok=false when encoding/json
+// rejects the input.
+func jsonOracleExtent(data []byte) (end int, ok bool) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return 0, false
+	}
+	start := 0
+	for start < len(data) {
+		switch data[start] {
+		case ' ', '\t', '\n', '\r':
+			start++
+			continue
+		}
+		break
+	}
+	return start + len(raw), true
+}
+
+// checkSkipAgreement asserts the differential contract on one input:
+//   - token-skip ok  ⇒  raw-skip ok with byte-for-byte the same extent;
+//   - encoding/json ok  ⇒  token-skip ok with the same extent (so on every
+//     input all three oracles agree on valid values);
+//   - raw-skip error ⇒ token-skip error (the raw scan is strictly more
+//     permissive, never less).
+func checkSkipAgreement(t *testing.T, data []byte, chunk int) {
+	t.Helper()
+	endTok, errTok := runSkip(data, chunk, true)
+	endRaw, errRaw := runSkip(data, chunk, false)
+	if errTok == nil {
+		if errRaw != nil {
+			t.Fatalf("chunk %d: token-skip ok (end %d) but raw-skip failed on %q: %v",
+				chunk, endTok, data, errRaw)
+		}
+		if endRaw != endTok {
+			t.Fatalf("chunk %d: skip extent diverges on %q: token %d, raw %d",
+				chunk, data, endTok, endRaw)
+		}
+	} else if errRaw == nil && endRaw > len(data) {
+		t.Fatalf("chunk %d: raw-skip ran past the input on %q", chunk, data)
+	}
+	if endJSON, ok := jsonOracleExtent(data); ok {
+		if errTok != nil {
+			t.Fatalf("chunk %d: encoding/json accepts %q but token-skip rejects it: %v",
+				chunk, data, errTok)
+		}
+		if endTok != endJSON {
+			t.Fatalf("chunk %d: extent diverges from encoding/json on %q: json %d, token %d",
+				chunk, data, endJSON, endTok)
+		}
+	}
+}
+
+// skipCorpus is the hand-written differential corpus: escapes (including
+// surrogate pairs and lone surrogates), deep nesting, numbers in every form,
+// chunk-straddling strings, and structurally-broken inputs.
+func skipCorpus() [][]byte {
+	corpus := []string{
+		// Scalars.
+		`null`, `true`, `false`, `0`, `-12`, `3.5`, `1e3`, `2E-2`, `-0.5e+1`,
+		`123456789012345678901234567890`, `1e999`, `0.00000000000000000001`,
+		`""`, `"abc"`, `  42  `,
+		// Escapes, surrogate pairs, lone surrogates.
+		`"a\nb\t\"\\\/"`, `"A"`, `"😀"`, `"\ud800"`,
+		`"é café"`, `"ends with backslash escape \\"`,
+		// Containers with everything inside.
+		`{}`, `[]`, `{"a":1}`, `[1,2,3]`,
+		`{"k":"v","nested":{"deep":[1,{"x":null},"s"]},"n":-2.5e-3}`,
+		`{"esc":"a\"b\\c","u":"😀","ctl":""}`,
+		`[[[[[[[[[[1]]]]]]]]]]`,
+		`[{"a":[{"b":[{"c":1}]}]}]`,
+		// Strings long enough to straddle every chunk size.
+		`"` + strings.Repeat("x", 200) + `"`,
+		`{"pad":"` + strings.Repeat("y", 150) + `","v":1}`,
+		`"` + strings.Repeat(`\\`, 100) + `"`,
+		// Whitespace-heavy.
+		"  {\n\t\"a\" : [ 1 ,\r\n 2 ] }  ",
+		// Structurally broken: both skips must reject.
+		`{`, `[`, `{"a":`, `{"a":[1,2`, `"unterminated`, `["a\`,
+		"\"ctl \x01 char\"", `{"s":"bad ` + "\x02" + `"}`,
+		// Broken only at token granularity: raw-skip may accept these,
+		// checkSkipAgreement verifies the one-directional contract.
+		`{"a":1x}`, `{"e":"\q"}`, `{"n":1.}`, `{"n":01}`, `[truu]`,
+		`{"a" 1}`, `[1 2]`, `{"a":1,}`, `[1}`, `{"a":1]`,
+	}
+	// Deep nesting across a refill boundary.
+	depth := 300
+	corpus = append(corpus, strings.Repeat("[", depth)+"7"+strings.Repeat("]", depth))
+	corpus = append(corpus, strings.Repeat(`{"k":[`, 50)+"1"+strings.Repeat("]}", 50))
+	out := make([][]byte, len(corpus))
+	for i, s := range corpus {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+// TestRawSkipDifferentialCorpus runs the three-way differential (raw-skip vs
+// token-skip vs encoding/json) over the hand-written corpus at every chunk
+// size.
+func TestRawSkipDifferentialCorpus(t *testing.T) {
+	for _, data := range skipCorpus() {
+		for _, chunk := range skipChunkSizes {
+			checkSkipAgreement(t, data, chunk)
+		}
+	}
+}
+
+// TestRawSkipStructuralErrors pins the malformed inputs the raw scan must
+// still detect: truncation, unterminated strings, control characters.
+func TestRawSkipStructuralErrors(t *testing.T) {
+	bad := []string{
+		`{`, `[`, `{"a":1`, `[1,[2,3]`, `{"a":"unterminated`,
+		"[\"ctl\x01\"]", `["straddle \`,
+	}
+	for _, src := range bad {
+		for _, chunk := range skipChunkSizes {
+			if _, err := runSkip([]byte(src), chunk, false); err == nil {
+				t.Errorf("chunk %d: raw-skip accepted structurally broken %q", chunk, src)
+			}
+		}
+	}
+}
+
+// TestRawSkipSetsClosingToken: after a raw skip the current token must be
+// the value's closing brace/bracket, exactly like the reference, so the
+// projector's loop structure is mode-independent.
+func TestRawSkipSetsClosingToken(t *testing.T) {
+	cases := map[string]TokenKind{
+		`{"a":[1,2]}`: TokRBrace,
+		`[{"a":1}]`:   TokRBracket,
+	}
+	for src, want := range cases {
+		l := NewLexer([]byte(src))
+		if err := l.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SkipValueRaw(); err != nil {
+			t.Fatal(err)
+		}
+		if l.Kind != want {
+			t.Errorf("%s: Kind after raw skip = %s, want %s", src, l.Kind, want)
+		}
+	}
+}
+
+// ndjsonStream renders a stream of top-level values separated the way
+// morsel scans see them: newline-delimited.
+func ndjsonStream(vals []item.Item) []byte {
+	var b bytes.Buffer
+	for _, v := range vals {
+		b.WriteString(item.JSON(v))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// TestQuickRawSkipMatchesTokenSkip is the core kernel property: for any
+// document, both skip modes consume byte-for-byte the same extent, at every
+// chunk size, and over NDJSON streams ScanValues projects identical results
+// in both modes.
+func TestQuickRawSkipMatchesTokenSkip(t *testing.T) {
+	f := func(dp docAndPath) bool {
+		src := []byte(item.JSON(dp.Doc))
+		for _, chunk := range skipChunkSizes {
+			endTok, errTok := runSkip(src, chunk, true)
+			endRaw, errRaw := runSkip(src, chunk, false)
+			if errTok != nil || errRaw != nil || endTok != endRaw {
+				t.Logf("doc=%s chunk=%d: token(%d,%v) raw(%d,%v)",
+					src, chunk, endTok, errTok, endRaw, errRaw)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScanValuesModeEquivalence: a projected NDJSON scan (the morsel
+// hot path) emits the same sequence whether subtrees are skipped by the raw
+// scan or the token-level reference.
+func TestQuickScanValuesModeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + r.Intn(5)
+		vals := make([]item.Item, n)
+		for i := range vals {
+			vals[i] = randomJSONValue(r, 3)
+		}
+		stream := ndjsonStream(vals)
+		path := randomPath(r)
+		for _, chunk := range skipChunkSizes[1:] {
+			var got [2]item.Sequence
+			var count [2]int
+			for mode := 0; mode < 2; mode++ {
+				l := NewStreamLexer(bytes.NewReader(stream), chunk)
+				l.SetReferenceSkip(mode == 1)
+				c, err := ScanValues(l, path, -1, func(it item.Item) error {
+					got[mode] = append(got[mode], it)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("mode %d chunk %d: ScanValues(%s, %s): %v", mode, chunk, stream, path, err)
+				}
+				count[mode] = c
+			}
+			if count[0] != count[1] || !item.EqualSeq(got[0], got[1]) {
+				t.Fatalf("chunk %d: mode divergence on %s path %s: raw(%d)=%s ref(%d)=%s",
+					chunk, stream, path, count[0], item.JSONSeq(got[0]), count[1], item.JSONSeq(got[1]))
+			}
+		}
+	}
+}
+
+// FuzzRawSkipDifferential fuzzes the three-way skip differential. `make
+// fuzz-smoke` runs it briefly in CI; run `go test -fuzz=FuzzRawSkipDifferential
+// ./internal/jsonparse` for a real session.
+func FuzzRawSkipDifferential(f *testing.F) {
+	for _, data := range skipCorpus() {
+		f.Add(data, byte(0))
+		f.Add(data, byte(1))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, sel byte) {
+		chunk := skipChunkSizes[int(sel)%len(skipChunkSizes)]
+		checkSkipAgreement(t, data, chunk)
+	})
+}
