@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fuzz-smoke fmt vet
+.PHONY: all build test race bench bench-query bench-smoke fuzz-smoke fmt vet
 
 all: build test
 
@@ -29,7 +29,14 @@ vet:
 bench:
 	$(GO) run ./cmd/benchscan -out BENCH_scan.json
 	$(GO) run ./cmd/benchscan -parse -out BENCH_parse.json
-	$(GO) test -run='^$$' -bench='Scan|FramePath|Project|Skip|Lexer' -benchmem ./internal/bench
+	$(GO) run ./cmd/benchscan -query -out BENCH_query.json
+	$(GO) test -run='^$$' -bench='Scan|FramePath|Project|Skip|Lexer|GroupBy|HashShuffle|HashJoin' -benchmem ./internal/bench
+
+# bench-query measures the binary tuple kernel (encoded-key group-by, hash
+# shuffle and hash join against the eager reference), writing
+# BENCH_query.json. TestQueryKernelBounds pins the committed bounds.
+bench-query:
+	$(GO) run ./cmd/benchscan -query -out BENCH_query.json
 
 # bench-smoke is the CI guard: every benchmark must still run (one
 # iteration), catching bit-rot in the harness without burning CI minutes.

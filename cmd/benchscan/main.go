@@ -4,12 +4,15 @@
 // BENCH_scan.json artifact produced by `make bench`. With -parse it instead
 // measures the on-demand parse kernel (structural raw-skip vs the
 // token-level reference) on the project-1-field and skip-whole-record
-// shapes, writing BENCH_parse.json.
+// shapes, writing BENCH_parse.json. With -query it measures the binary
+// tuple kernel (encoded-key group-by, hash shuffle, hash join vs the eager
+// reference), writing BENCH_query.json.
 //
 // Usage:
 //
 //	benchscan [-full] [-partitions 8] [-runs 3] [-out BENCH_scan.json]
 //	benchscan -parse [-parsedur 1s] [-out BENCH_parse.json]
+//	benchscan -query [-querytuples 200000] [-querydur 1s] [-out BENCH_query.json]
 package main
 
 import (
@@ -51,6 +54,9 @@ func main() {
 	out := flag.String("out", "", "output file (default BENCH_scan.json, or BENCH_parse.json with -parse)")
 	parse := flag.Bool("parse", false, "measure the parse kernel instead of the scan scheduler")
 	parseDur := flag.Duration("parsedur", time.Second, "minimum timed duration per parse-kernel configuration")
+	query := flag.Bool("query", false, "measure the binary tuple kernel (group-by/shuffle/join) instead of the scan scheduler")
+	queryDur := flag.Duration("querydur", time.Second, "minimum timed duration per query-kernel configuration")
+	queryTuples := flag.Int("querytuples", 200_000, "input tuples per query-kernel shape")
 	flag.Parse()
 
 	if *parse {
@@ -58,6 +64,15 @@ func main() {
 			*out = "BENCH_parse.json"
 		}
 		if err := runParseBench(*out, *parseDur); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *query {
+		if *out == "" {
+			*out = "BENCH_query.json"
+		}
+		if err := runQueryBench(*out, *queryTuples, *queryDur); err != nil {
 			fatal(err)
 		}
 		return
@@ -175,6 +190,54 @@ func runParseBench(out string, minDur time.Duration) error {
 		}
 		fmt.Printf("%s: kernel %.0f MB/s (%.4f allocs/record), reference %.0f MB/s, speedup %.2fx\n",
 			shape, kernel.MBPerSec, kernel.AllocsPerRecord, ref.MBPerSec, rep.Shapes[shape].Speedup)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("-> %s\n", out)
+	return nil
+}
+
+// queryShapeReport pairs the encoded and eager measurements of one shape
+// with the resulting speedup.
+type queryShapeReport struct {
+	Encoded bench.QueryBenchResult `json:"encoded"`
+	Eager   bench.QueryBenchResult `json:"eager"`
+	Speedup float64                `json:"speedup"`
+}
+
+type queryReport struct {
+	Tuples int                         `json:"tuples"`
+	Keys   int                         `json:"keys"`
+	Shapes map[string]queryShapeReport `json:"shapes"`
+}
+
+// runQueryBench measures the binary tuple kernel against the eager reference
+// on the group-by, hash-shuffle and hash-join shapes and writes the
+// BENCH_query.json artifact.
+func runQueryBench(out string, tuples int, minDur time.Duration) error {
+	rep := queryReport{Tuples: tuples, Keys: bench.QueryBenchKeys, Shapes: map[string]queryShapeReport{}}
+	for _, shape := range []string{"groupby", "shuffle", "join"} {
+		enc, err := bench.MeasureQueryBench(shape, "encoded", tuples, minDur)
+		if err != nil {
+			return err
+		}
+		eag, err := bench.MeasureQueryBench(shape, "eager", tuples, minDur)
+		if err != nil {
+			return err
+		}
+		rep.Shapes[shape] = queryShapeReport{
+			Encoded: enc,
+			Eager:   eag,
+			Speedup: eag.Seconds / enc.Seconds,
+		}
+		fmt.Printf("%s: encoded %.2f Mtuples/s (%.4f allocs/tuple), eager %.2f Mtuples/s, speedup %.2fx\n",
+			shape, enc.MTuplesPerSec, enc.AllocsPerTuple, eag.MTuplesPerSec, rep.Shapes[shape].Speedup)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"vxq/internal/core"
+	"vxq/internal/hyracks"
+	"vxq/internal/item"
+)
+
+// TestQueriesLazyVsEagerByteIdentical runs every paper query (Q0, Q0b, Q1,
+// Q1b, Q2) through the full compiler and engine in the default lazy encoded
+// mode and in the eager reference mode, and requires byte-identical results
+// under the canonical encoding.
+func TestQueriesLazyVsEagerByteIdentical(t *testing.T) {
+	cfg := defaultDataset(Settings{})
+	src, _, err := sensorSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries {
+		for _, parts := range []int{1, 3} {
+			c, err := core.CompileQuery(q.Text, core.Options{Rules: core.AllRules(), Partitions: parts})
+			if err != nil {
+				t.Fatalf("%s: CompileQuery: %v", q.Name, err)
+			}
+			eager, err := hyracks.RunStaged(c.Job, &hyracks.Env{Source: src, EagerReference: true})
+			if err != nil {
+				t.Fatalf("%s (parts=%d): eager: %v", q.Name, parts, err)
+			}
+			lazy, err := hyracks.RunStaged(c.Job, &hyracks.Env{Source: src})
+			if err != nil {
+				t.Fatalf("%s (parts=%d): lazy: %v", q.Name, parts, err)
+			}
+			eager.SortRows()
+			lazy.SortRows()
+			if len(eager.Rows) != len(lazy.Rows) {
+				t.Fatalf("%s (parts=%d): eager %d rows, lazy %d rows", q.Name, parts, len(eager.Rows), len(lazy.Rows))
+			}
+			if len(eager.Rows) == 0 {
+				t.Fatalf("%s (parts=%d): no rows — workload too small to differentiate", q.Name, parts)
+			}
+			for i := range eager.Rows {
+				if len(eager.Rows[i]) != len(lazy.Rows[i]) {
+					t.Fatalf("%s (parts=%d): row %d arity mismatch", q.Name, parts, i)
+				}
+				for j := range eager.Rows[i] {
+					eb := item.EncodeSeq(nil, eager.Rows[i][j])
+					lb := item.EncodeSeq(nil, lazy.Rows[i][j])
+					if !bytes.Equal(eb, lb) {
+						t.Fatalf("%s (parts=%d): row %d field %d not byte-identical: eager %s, lazy %s",
+							q.Name, parts, i, j, item.JSONSeq(eager.Rows[i][j]), item.JSONSeq(lazy.Rows[i][j]))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"time"
+
+	"vxq/internal/frame"
+	"vxq/internal/hyracks"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+// The query-kernel benchmarks measure the binary tuple kernel — encoded-key
+// hashing and lazy field decode through GROUP-BY, the hash exchange, and the
+// hash join — against the eager reference mode (every field decoded, keys
+// hashed as sequences), on the workload the paper's aggregation queries
+// imply: tuples of a date-string grouping key (~365 distinct values, one
+// year of days) and a numeric measurement value.
+
+// QueryBenchKeys is the number of distinct grouping keys of the query-kernel
+// workload (one year of dates).
+const QueryBenchKeys = 365
+
+// QueryBenchRows builds the workload: n tuples of [date-string, number],
+// cycling through QueryBenchKeys distinct dates.
+func QueryBenchRows(n int) [][]item.Sequence {
+	dates := make([]item.String, QueryBenchKeys)
+	d := 0
+	for m := 1; m <= 12 && d < QueryBenchKeys; m++ {
+		for day := 1; day <= 31 && d < QueryBenchKeys; day++ {
+			dates[d] = item.String(fmt.Sprintf("2003-%02d-%02dT00:00", m, day))
+			d++
+		}
+	}
+	rows := make([][]item.Sequence, n)
+	for i := range rows {
+		rows[i] = []item.Sequence{
+			item.Single(dates[i%QueryBenchKeys]),
+			item.Single(item.Number(float64(i%100) / 2)),
+		}
+	}
+	return rows
+}
+
+// queryBenchGroupBy is the GROUP-BY spec shared by both modes: count per
+// date key. The count aggregate exercises the CountStepper fast path, so the
+// encoded mode never decodes a field at all.
+func queryBenchGroupBy() *hyracks.GroupBySpec {
+	return &hyracks.GroupBySpec{
+		Keys: []runtime.Evaluator{runtime.ColumnEval{Col: 0}},
+		Aggs: []hyracks.AggDef{{Fn: runtime.MustAgg("agg-count"), Arg: runtime.ColumnEval{Col: 1}}},
+		Desc: "bench",
+	}
+}
+
+func queryBenchJoin() *hyracks.JoinSpec {
+	return &hyracks.JoinSpec{
+		BuildKeys: []runtime.Evaluator{runtime.ColumnEval{Col: 0}},
+		ProbeKeys: []runtime.Evaluator{runtime.ColumnEval{Col: 0}},
+		Desc:      "bench",
+	}
+}
+
+// QueryBenchResult is one measured configuration of the query-kernel
+// benchmark, serialized into BENCH_query.json.
+type QueryBenchResult struct {
+	Shape          string  `json:"shape"`
+	Mode           string  `json:"mode"` // "encoded" or "eager"
+	Tuples         int64   `json:"tuples"`
+	Keys           int64   `json:"keys"`
+	Seconds        float64 `json:"seconds"`
+	MTuplesPerSec  float64 `json:"mtuples_per_sec"`
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+	Output         int64   `json:"output"`
+}
+
+// RunQueryBenchPass runs one pass of a shape over prebuilt frames and
+// returns the number of output tuples (groups, routed tuples, or joined
+// tuples depending on the shape).
+func RunQueryBenchPass(shape string, frames, build []*frame.Frame, eager bool) (int64, error) {
+	switch shape {
+	case "groupby":
+		return hyracks.BenchGroupBy(queryBenchGroupBy(), frames, eager)
+	case "shuffle":
+		return hyracks.BenchHashShuffle([]runtime.Evaluator{runtime.ColumnEval{Col: 0}}, 8, frames, eager)
+	case "join":
+		return hyracks.BenchHashJoin(queryBenchJoin(), build, frames, eager)
+	default:
+		return 0, fmt.Errorf("unknown query bench shape %q", shape)
+	}
+}
+
+// MeasureQueryBench times repeated passes of one shape/mode until
+// minDuration has elapsed (at least one pass), reporting the best-pass
+// throughput and the exact allocations per input tuple across all passes.
+// tuples sizes the probe/input side; the join build side always holds one
+// row per distinct key.
+func MeasureQueryBench(shape, mode string, tuples int, minDuration time.Duration) (QueryBenchResult, error) {
+	eager := mode == "eager"
+	frames := hyracks.BenchFrames(QueryBenchRows(tuples), 0)
+	var build []*frame.Frame
+	if shape == "join" {
+		build = hyracks.BenchFrames(QueryBenchRows(QueryBenchKeys), 0)
+	}
+	// Warm-up pass.
+	out, err := RunQueryBenchPass(shape, frames, build, eager)
+	if err != nil {
+		return QueryBenchResult{}, err
+	}
+	var (
+		passes   int64
+		best     float64
+		m0, m1   goruntime.MemStats
+		deadline = time.Now().Add(minDuration)
+	)
+	goruntime.ReadMemStats(&m0)
+	for {
+		start := time.Now()
+		o, err := RunQueryBenchPass(shape, frames, build, eager)
+		sec := time.Since(start).Seconds()
+		if err != nil {
+			return QueryBenchResult{}, err
+		}
+		if o != out {
+			return QueryBenchResult{}, fmt.Errorf("%s/%s: output changed between passes: %d then %d", shape, mode, out, o)
+		}
+		passes++
+		if best == 0 || sec < best {
+			best = sec
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	goruntime.ReadMemStats(&m1)
+	return QueryBenchResult{
+		Shape:          shape,
+		Mode:           mode,
+		Tuples:         int64(tuples),
+		Keys:           QueryBenchKeys,
+		Seconds:        best,
+		MTuplesPerSec:  float64(tuples) / best / 1e6,
+		AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(passes*int64(tuples)),
+		Output:         out,
+	}, nil
+}

@@ -62,6 +62,30 @@ func (f *Frame) Size() int { return len(f.data) }
 // Capacity reports the frame's nominal capacity.
 func (f *Frame) Capacity() int { return f.capacity }
 
+// FieldsSize reports the total number of field payload bytes across all
+// tuples, excluding the per-tuple length headers — the quantity the shuffle
+// statistics count when a frame is forwarded whole through an exchange.
+func (f *Frame) FieldsSize() (int64, error) {
+	var total int64
+	for i := range f.offs {
+		buf := f.data[f.offs[i]:f.ends[i]]
+		nf, w := binary.Uvarint(buf)
+		if w <= 0 {
+			return 0, fmt.Errorf("frame: bad tuple field count")
+		}
+		hdr := w
+		for k := uint64(0); k < nf; k++ {
+			_, lw := binary.Uvarint(buf[hdr:])
+			if lw <= 0 {
+				return 0, fmt.Errorf("frame: bad field length")
+			}
+			hdr += lw
+		}
+		total += int64(len(buf) - hdr)
+	}
+	return total, nil
+}
+
 // Oversize reports whether the frame holds a single tuple larger than the
 // nominal capacity (Hyracks' "big object" frames).
 func (f *Frame) Oversize() bool { return f.oversize }

@@ -1,0 +1,50 @@
+package hyracks
+
+// byteArena bump-allocates stable copies of small byte slices (group-by and
+// join keys) out of large chunks, so a table with thousands of groups costs
+// a handful of allocations instead of one per key. Arena memory is never
+// freed piecemeal: the owning operator releases the whole reservation at
+// Close, matching the hold-until-Close accounting discipline.
+type byteArena struct {
+	chunks   [][]byte
+	reserved int64 // total capacity reserved across all chunks
+}
+
+// arenaChunkSize is the default chunk the arena grows by.
+const arenaChunkSize = 64 * 1024
+
+// copy stores a stable copy of b in the arena and returns it along with the
+// number of newly reserved bytes (non-zero only when a chunk was added) for
+// the caller to charge to the accountant.
+func (a *byteArena) copy(b []byte) ([]byte, int64) {
+	if len(b) == 0 {
+		return nil, 0
+	}
+	var grew int64
+	cur := len(a.chunks) - 1
+	if cur < 0 || cap(a.chunks[cur])-len(a.chunks[cur]) < len(b) {
+		size := arenaChunkSize
+		if len(b) > size {
+			// Oversized keys get a chunk of their own.
+			size = len(b)
+		}
+		a.chunks = append(a.chunks, make([]byte, 0, size))
+		a.reserved += int64(size)
+		grew = int64(size)
+		cur = len(a.chunks) - 1
+	}
+	chunk := a.chunks[cur]
+	start := len(chunk)
+	chunk = append(chunk, b...)
+	a.chunks[cur] = chunk
+	return chunk[start:len(chunk):len(chunk)], grew
+}
+
+// release drops every chunk and returns the total reservation to subtract
+// from the accountant.
+func (a *byteArena) release() int64 {
+	n := a.reserved
+	a.chunks = nil
+	a.reserved = 0
+	return n
+}

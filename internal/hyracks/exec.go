@@ -33,6 +33,11 @@ type Env struct {
 	// Pool recycles tuple frames across operators and tasks; one is created
 	// on demand when nil.
 	Pool *frame.Pool
+	// EagerReference runs the job with TaskCtx.EagerDecode set: operators use
+	// their decoded-sequence reference implementations instead of the lazy
+	// encoded-domain paths. Differential tests compare both modes; benchmarks
+	// use it as the baseline.
+	EagerReference bool
 }
 
 func (e *Env) accountant() *frame.Accountant {
@@ -145,13 +150,18 @@ func (w destWriter) Open() error                { return nil }
 func (w destWriter) Push(fr *frame.Frame) error { return w.d.send(fr) }
 func (w destWriter) Close() error               { return nil }
 
-// exchangeWriter is the sink side of an exchange: it routes each tuple to a
-// consumer partition according to the exchange kind.
+// exchangeWriter is the sink side of an exchange: it routes tuples to
+// consumer partitions according to the exchange kind. Hash exchanges route
+// per tuple, hashing the encoded key bytes directly (no field decode) unless
+// EagerDecode asks for the decoded reference path. Merge and 1:1 exchanges
+// route the entire input frame to a single destination, so they forward the
+// frame itself — ownership passes to the receiver and no tuple is re-framed.
 type exchangeWriter struct {
 	ctx      *TaskCtx
 	exch     *Exchange
 	dests    []frameDest
 	builders []*frameBuilder
+	keys     *keyEncoder
 }
 
 func newExchangeWriter(ctx *TaskCtx, exch *Exchange, dests []frameDest) *exchangeWriter {
@@ -159,16 +169,46 @@ func newExchangeWriter(ctx *TaskCtx, exch *Exchange, dests []frameDest) *exchang
 }
 
 func (w *exchangeWriter) Open() error {
-	w.builders = make([]*frameBuilder, len(w.dests))
-	for i, d := range w.dests {
-		w.builders[i] = newFrameBuilder(w.ctx, destWriter{d})
+	if w.exch.Kind == ExchangeHash {
+		// Only hash exchanges re-frame tuples; merge and 1:1 forward whole
+		// frames and need no builders.
+		w.builders = make([]*frameBuilder, len(w.dests))
+		for i, d := range w.dests {
+			w.builders[i] = newFrameBuilder(w.ctx, destWriter{d})
+		}
+		if !w.ctx.EagerDecode {
+			w.keys = newKeyEncoder(w.exch.Keys)
+		}
 	}
 	return nil
 }
 
 func (w *exchangeWriter) Push(fr *frame.Frame) error {
+	if w.exch.Kind != ExchangeHash {
+		// Whole-frame forwarding: account the shuffle stats for the frame's
+		// tuples, then hand the frame itself to the one destination.
+		if fr.TupleCount() == 0 {
+			w.ctx.recycle(fr)
+			return nil
+		}
+		p, err := w.route(nil)
+		if err != nil {
+			w.ctx.recycle(fr)
+			return err
+		}
+		if st := w.ctx.RT.Stats; st != nil {
+			st.TuplesShuffled += int64(fr.TupleCount())
+			sz, err := fr.FieldsSize()
+			if err != nil {
+				w.ctx.recycle(fr)
+				return err
+			}
+			st.BytesShuffled += sz
+		}
+		return w.dests[p].send(fr)
+	}
 	defer w.ctx.recycle(fr)
-	if w.exch.Kind == ExchangeHash {
+	if w.ctx.EagerDecode {
 		return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
 			p, err := w.route(fields)
 			if err != nil {
@@ -177,14 +217,13 @@ func (w *exchangeWriter) Push(fr *frame.Frame) error {
 			return w.ship(p, raw)
 		})
 	}
-	// Merge and 1:1 routing never look at field values, so the tuples can be
-	// forwarded without decoding them.
-	p, err := w.route(nil)
-	if err != nil {
-		return err
-	}
-	return forEachTupleRaw(fr, func(raw [][]byte) error {
-		return w.ship(p, raw)
+	n := uint64(len(w.dests))
+	return forEachTupleView(fr, false, func(lt *frame.LazyTuple) error {
+		_, h, err := w.keys.resolve(w.ctx, lt)
+		if err != nil {
+			return err
+		}
+		return w.ship(int(h%n), lt.Raw())
 	})
 }
 
@@ -209,7 +248,7 @@ func (w *exchangeWriter) route(fields []item.Sequence) (int, error) {
 	case ExchangeHash:
 		var h uint64 = 1469598103934665603
 		for _, k := range w.exch.Keys {
-			v, err := k.Eval(w.ctx.RT, fields)
+			v, err := k.Eval(w.ctx.RT, runtime.SeqTuple(fields))
 			if err != nil {
 				return 0, err
 			}

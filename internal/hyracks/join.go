@@ -18,11 +18,31 @@ type JoinSpec struct {
 }
 
 // joiner is the runtime state of a hash join within one partition.
+//
+// By default both sides work in the encoded domain: keys are resolved to raw
+// encoded bytes (keyEncoder), hashed with item.HashEncoded, matched byte-wise
+// with the structural EqualEncoded fallback, and build keys are interned in an
+// arena. TaskCtx.EagerDecode selects the decoded reference implementation.
 type joiner struct {
 	ctx    *TaskCtx
 	spec   *JoinSpec
-	table  map[uint64]*joinBucket
 	memory int64
+
+	// Encoded mode.
+	buildKeys *keyEncoder
+	probeKeys *keyEncoder
+	etable    map[uint64]*ejoinBucket
+	arena     byteArena
+
+	// Eager reference mode.
+	eager bool
+	table map[uint64]*joinBucket
+}
+
+type ejoinBucket struct {
+	key  [][]byte // arena-interned encoded key fields
+	rows []joinRow
+	next *ejoinBucket
 }
 
 type joinBucket struct {
@@ -36,7 +56,15 @@ type joinRow struct {
 }
 
 func newJoiner(ctx *TaskCtx, spec *JoinSpec) *joiner {
-	return &joiner{ctx: ctx, spec: spec, table: make(map[uint64]*joinBucket)}
+	j := &joiner{ctx: ctx, spec: spec, eager: ctx.EagerDecode}
+	if j.eager {
+		j.table = make(map[uint64]*joinBucket)
+	} else {
+		j.etable = make(map[uint64]*ejoinBucket)
+		j.buildKeys = newKeyEncoder(spec.BuildKeys)
+		j.probeKeys = newKeyEncoder(spec.ProbeKeys)
+	}
+	return j
 }
 
 // build inserts one build-side frame into the hash table. The frame arrives
@@ -44,6 +72,46 @@ func newJoiner(ctx *TaskCtx, spec *JoinSpec) *joiner {
 // table), so it is recycled on return.
 func (j *joiner) build(fr *frame.Frame) error {
 	defer j.ctx.recycle(fr)
+	if j.eager {
+		return j.buildEager(fr)
+	}
+	return forEachTupleView(fr, false, func(lt *frame.LazyTuple) error {
+		kf, h, err := j.buildKeys.resolve(j.ctx, lt)
+		if err != nil {
+			return err
+		}
+		b, err := j.elookup(h, kf)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			stored := make([][]byte, len(kf))
+			for i, f := range kf {
+				cp, grew := j.arena.copy(f)
+				stored[i] = cp
+				if grew > 0 {
+					j.memory += grew
+					j.ctx.accountHold(grew)
+				}
+			}
+			b = &ejoinBucket{key: stored, next: j.etable[h]}
+			j.etable[h] = b
+		}
+		raw := lt.Raw()
+		stored := make([][]byte, len(raw))
+		var sz int64 = 48
+		for i, f := range raw {
+			stored[i] = append([]byte(nil), f...)
+			sz += int64(len(f))
+		}
+		b.rows = append(b.rows, joinRow{raw: stored})
+		j.memory += sz
+		j.ctx.accountHold(sz)
+		return nil
+	})
+}
+
+func (j *joiner) buildEager(fr *frame.Frame) error {
 	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
 		keys, h, err := j.evalKeys(j.spec.BuildKeys, fields)
 		if err != nil {
@@ -71,7 +139,7 @@ func (j *joiner) evalKeys(keys []runtime.Evaluator, fields []item.Sequence) ([]i
 	out := make([]item.Sequence, len(keys))
 	var h uint64 = 1469598103934665603
 	for i, k := range keys {
-		v, err := k.Eval(j.ctx.RT, fields)
+		v, err := k.Eval(j.ctx.RT, runtime.SeqTuple(fields))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -79,6 +147,19 @@ func (j *joiner) evalKeys(keys []runtime.Evaluator, fields []item.Sequence) ([]i
 		h = h*1099511628211 ^ item.HashSeq(v)
 	}
 	return out, h, nil
+}
+
+func (j *joiner) elookup(h uint64, kf [][]byte) (*ejoinBucket, error) {
+	for b := j.etable[h]; b != nil; b = b.next {
+		ok, err := matchEncodedKey(b.key, kf)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return b, nil
+		}
+	}
+	return nil, nil
 }
 
 func (j *joiner) lookup(h uint64, keys []item.Sequence) *joinBucket {
@@ -102,6 +183,39 @@ func (j *joiner) lookup(h uint64, keys []item.Sequence) *joinBucket {
 // it frames, so one scratch slice carries every joined tuple.
 func (j *joiner) probe(fr *frame.Frame, b *frameBuilder) error {
 	defer j.ctx.recycle(fr)
+	if j.eager {
+		return j.probeEager(fr, b)
+	}
+	var out [][]byte
+	return forEachTupleView(fr, false, func(lt *frame.LazyTuple) error {
+		kf, h, err := j.probeKeys.resolve(j.ctx, lt)
+		if err != nil {
+			return err
+		}
+		bucket, err := j.elookup(h, kf)
+		if err != nil || bucket == nil {
+			return err
+		}
+		// An empty join key (empty sequence) never matches anything, per
+		// comparison semantics: eq with an empty operand is empty/false.
+		for _, f := range kf {
+			if item.IsEmptySeqEncoded(f) {
+				return nil
+			}
+		}
+		raw := lt.Raw()
+		for _, row := range bucket.rows {
+			out = append(out[:0], row.raw...)
+			out = append(out, raw...)
+			if err := b.emit(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (j *joiner) probeEager(fr *frame.Frame, b *frameBuilder) error {
 	var out [][]byte
 	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
 		keys, h, err := j.evalKeys(j.spec.ProbeKeys, fields)
@@ -130,10 +244,12 @@ func (j *joiner) probe(fr *frame.Frame, b *frameBuilder) error {
 	})
 }
 
-// release frees the accounted build-table memory.
+// release frees the accounted build-table memory (arena reservations were
+// charged into memory as they grew, so one release covers both).
 func (j *joiner) release() {
 	if j.ctx.RT != nil && j.ctx.RT.Accountant != nil {
 		j.ctx.RT.Accountant.Release(j.memory)
 	}
 	j.memory = 0
+	j.arena.release()
 }

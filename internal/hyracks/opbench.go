@@ -1,0 +1,145 @@
+package hyracks
+
+import (
+	"fmt"
+
+	"vxq/internal/frame"
+	"vxq/internal/item"
+	"vxq/internal/runtime"
+)
+
+// This file exports thin harnesses that drive individual operators over
+// prebuilt frames, so the query-kernel benchmarks (internal/bench, `benchscan
+// -query`) can measure the encoded-key paths against the eager reference
+// without a scan or an executor in the loop.
+//
+// The harness contexts carry no frame pool: recycle is a no-op, so the
+// caller's input frames survive a pass and can be pushed again on the next
+// one.
+
+// BenchFrames packs the rows into frames of the given size (the default
+// when <= 0). Each row becomes one tuple of canonically encoded fields.
+func BenchFrames(rows [][]item.Sequence, frameSize int) []*frame.Frame {
+	if frameSize <= 0 {
+		frameSize = frame.DefaultFrameSize
+	}
+	var frames []*frame.Frame
+	fr := frame.New(frameSize)
+	for _, row := range rows {
+		fields := frame.EncodeFields(row)
+		if fr.AppendTuple(fields) {
+			continue
+		}
+		frames = append(frames, fr)
+		fr = frame.New(frameSize)
+		if !fr.AppendTuple(fields) {
+			panic("hyracks: bench tuple larger than frame")
+		}
+	}
+	if fr.TupleCount() > 0 {
+		frames = append(frames, fr)
+	}
+	return frames
+}
+
+func benchCtx(eager bool) *TaskCtx {
+	return &TaskCtx{RT: &runtime.Ctx{Stats: &runtime.Stats{}}, EagerDecode: eager}
+}
+
+// countSink counts tuples without decoding them.
+type countSink struct{ n int64 }
+
+func (s *countSink) Open() error { return nil }
+func (s *countSink) Push(fr *frame.Frame) error {
+	s.n += int64(fr.TupleCount())
+	return nil
+}
+func (s *countSink) Close() error { return nil }
+
+// BenchGroupBy pushes the frames through one GROUP-BY operator into a
+// counting sink and returns the number of result groups. eager selects the
+// decoded reference implementation.
+func BenchGroupBy(spec *GroupBySpec, frames []*frame.Frame, eager bool) (int64, error) {
+	ctx := benchCtx(eager)
+	sink := &countSink{}
+	w := spec.Build(ctx, sink)
+	if err := w.Open(); err != nil {
+		return 0, err
+	}
+	for _, fr := range frames {
+		if err := w.Push(fr); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return sink.n, nil
+}
+
+// countDest is a frameDest that counts and drops routed frames.
+type countDest struct{ n int64 }
+
+func (d *countDest) send(fr *frame.Frame) error {
+	d.n += int64(fr.TupleCount())
+	return nil
+}
+
+// BenchHashShuffle routes the frames through a hash exchange onto parts
+// destinations and returns the number of tuples shipped. eager selects the
+// decoded routing path.
+func BenchHashShuffle(keys []runtime.Evaluator, parts int, frames []*frame.Frame, eager bool) (int64, error) {
+	ctx := benchCtx(eager)
+	dests := make([]frameDest, parts)
+	counts := make([]*countDest, parts)
+	for i := range dests {
+		d := &countDest{}
+		dests[i] = d
+		counts[i] = d
+	}
+	w := newExchangeWriter(ctx, &Exchange{Kind: ExchangeHash, Keys: keys, ConsumerPartitions: parts}, dests)
+	if err := w.Open(); err != nil {
+		return 0, err
+	}
+	for _, fr := range frames {
+		if err := w.Push(fr); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, d := range counts {
+		total += d.n
+	}
+	if st := ctx.RT.Stats; st.TuplesShuffled != total {
+		return 0, fmt.Errorf("hyracks: shuffle stats %d != routed tuples %d", st.TuplesShuffled, total)
+	}
+	return total, nil
+}
+
+// BenchHashJoin builds a hash join from the build frames, probes it with the
+// probe frames, and returns the number of joined tuples. eager selects the
+// decoded reference implementation.
+func BenchHashJoin(spec *JoinSpec, build, probe []*frame.Frame, eager bool) (int64, error) {
+	ctx := benchCtx(eager)
+	j := newJoiner(ctx, spec)
+	defer j.release()
+	for _, fr := range build {
+		if err := j.build(fr); err != nil {
+			return 0, err
+		}
+	}
+	sink := &countSink{}
+	b := newFrameBuilder(ctx, sink)
+	for _, fr := range probe {
+		if err := j.probe(fr, b); err != nil {
+			return 0, err
+		}
+	}
+	if err := b.flush(); err != nil {
+		return 0, err
+	}
+	return sink.n, nil
+}

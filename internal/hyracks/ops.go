@@ -52,21 +52,35 @@ func (o *assignOp) Open() error {
 
 func (o *assignOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
-	var out [][]byte // per-frame scratch; emit copies the bytes it frames
-	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
-		out = append(out[:0], raw...)
+	// Per-frame scratch: existing fields pass through as raw bytes; computed
+	// fields are encoded into one reusable buffer (emit copies what it
+	// frames, so both are free again after each tuple).
+	var (
+		out  [][]byte
+		proj [][]byte
+		enc  []byte
+	)
+	return forEachTupleView(fr, o.ctx.EagerDecode, func(lt *frame.LazyTuple) error {
+		out = append(out[:0], lt.Raw()...)
+		enc = enc[:0]
 		for _, ev := range o.spec.Evals {
-			v, err := ev.Eval(o.ctx.RT, fields)
+			v, err := ev.Eval(o.ctx.RT, lt)
 			if err != nil {
 				return err
 			}
-			fields = append(fields, v)
-			out = append(out, item.EncodeSeq(nil, v))
+			lt.Append(v) // later evaluators see the appended field
+			start := len(enc)
+			enc = item.EncodeSeq(enc, v)
+			out = append(out, enc[start:])
 		}
-		outFields, err := applyOutCols(out, o.spec.OutCols)
+		// enc may have been reallocated while growing; earlier slices still
+		// point at live (former) backing arrays, so they stay valid until
+		// the next tuple resets the buffer.
+		outFields, err := applyOutColsInto(proj, out, o.spec.OutCols)
 		if err != nil {
 			return err
 		}
+		proj = outFields[:0]
 		return o.b.emit(outFields)
 	})
 }
@@ -110,18 +124,20 @@ func (o *selectOp) Open() error {
 
 func (o *selectOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
-	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
-		v, err := o.spec.Cond.Eval(o.ctx.RT, fields)
+	var proj [][]byte
+	return forEachTupleView(fr, o.ctx.EagerDecode, func(lt *frame.LazyTuple) error {
+		v, err := o.spec.Cond.Eval(o.ctx.RT, lt)
 		if err != nil {
 			return err
 		}
 		if !item.EffectiveBoolean(v) {
 			return nil
 		}
-		out, err := applyOutCols(raw, o.spec.OutCols)
+		out, err := applyOutColsInto(proj, lt.Raw(), o.spec.OutCols)
 		if err != nil {
 			return err
 		}
+		proj = out[:0]
 		return o.b.emit(out)
 	})
 }
@@ -168,22 +184,24 @@ func (o *unnestOp) Open() error {
 func (o *unnestOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
 	var (
-		out [][]byte // per-frame scratch; emit copies the bytes it frames
-		enc []byte
+		out  [][]byte // per-frame scratch; emit copies the bytes it frames
+		proj [][]byte
+		enc  []byte
 	)
-	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
-		v, err := o.spec.Expr.Eval(o.ctx.RT, fields)
+	return forEachTupleView(fr, o.ctx.EagerDecode, func(lt *frame.LazyTuple) error {
+		v, err := o.spec.Expr.Eval(o.ctx.RT, lt)
 		if err != nil {
 			return err
 		}
 		for _, it := range v {
 			enc = item.EncodeSeq(enc[:0], item.Single(it))
-			out = append(out[:0], raw...)
+			out = append(out[:0], lt.Raw()...)
 			out = append(out, enc)
-			outFields, err := applyOutCols(out, o.spec.OutCols)
+			outFields, err := applyOutColsInto(proj, out, o.spec.OutCols)
 			if err != nil {
 				return err
 			}
+			proj = outFields[:0]
 			if err := o.b.emit(outFields); err != nil {
 				return err
 			}
@@ -199,20 +217,20 @@ func (o *unnestOp) Close() error {
 	return o.out.Close()
 }
 
-// applyOutCols projects raw fields to the given columns; a nil cols is the
-// identity.
-func applyOutCols(raw [][]byte, cols []int) ([][]byte, error) {
+// applyOutColsInto projects raw fields to the given columns, reusing dst's
+// capacity; a nil cols is the identity (raw is returned, dst untouched).
+func applyOutColsInto(dst [][]byte, raw [][]byte, cols []int) ([][]byte, error) {
 	if cols == nil {
 		return raw, nil
 	}
-	out := make([][]byte, len(cols))
-	for i, c := range cols {
+	dst = dst[:0]
+	for _, c := range cols {
 		if c < 0 || c >= len(raw) {
 			return nil, fmt.Errorf("hyracks: fused project column %d out of range [0,%d)", c, len(raw))
 		}
-		out[i] = raw[c]
+		dst = append(dst, raw[c])
 	}
-	return out, nil
+	return dst, nil
 }
 
 // --- PROJECT --------------------------------------------------------------
@@ -274,6 +292,69 @@ type AggDef struct {
 	Arg runtime.Evaluator
 }
 
+// countFastCols maps each aggregate to the raw column its argument reads,
+// when the fast path applies: the argument is a plain column reference and
+// the aggregate state only counts items (runtime.CountStepper). Such
+// aggregates step on item.SeqCountEncoded of the raw field — one uvarint
+// read instead of a field decode. -1 disables the fast path.
+func countFastCols(aggs []AggDef) []int {
+	cols := make([]int, len(aggs))
+	for i, a := range aggs {
+		cols[i] = -1
+		ce, ok := a.Arg.(runtime.ColumnEval)
+		if !ok {
+			continue
+		}
+		if _, ok := a.Fn.New().(runtime.CountStepper); ok {
+			cols[i] = ce.Col
+		}
+	}
+	return cols
+}
+
+// stepStates folds one tuple into a row of aggregate states. fastCols
+// enables the encoded count fast path (nil or -1 entries evaluate the
+// argument normally). hold, when non-nil, is charged with any state growth.
+func stepStates(ctx *TaskCtx, aggs []AggDef, fastCols []int, states []runtime.AggState, lt *frame.LazyTuple, hold func(int64)) error {
+	for i := range aggs {
+		st := states[i]
+		var before int64
+		if hold != nil {
+			before = st.Size()
+		}
+		if c := colOf(fastCols, i); c >= 0 && c < lt.RawFieldCount() {
+			n, err := item.SeqCountEncoded(lt.RawField(c))
+			if err != nil {
+				return err
+			}
+			if err := st.(runtime.CountStepper).StepCount(n); err != nil {
+				return err
+			}
+		} else {
+			v, err := aggs[i].Arg.Eval(ctx.RT, lt)
+			if err != nil {
+				return err
+			}
+			if err := st.Step(v); err != nil {
+				return err
+			}
+		}
+		if hold != nil {
+			if grew := st.Size() - before; grew > 0 {
+				hold(grew)
+			}
+		}
+	}
+	return nil
+}
+
+func colOf(cols []int, i int) int {
+	if cols == nil {
+		return -1
+	}
+	return cols[i]
+}
+
 // AggregateSpec folds the whole input into a single output tuple holding one
 // field per aggregate (the Hyracks AGGREGATE operator of §3.2).
 type AggregateSpec struct {
@@ -290,10 +371,11 @@ func (s *AggregateSpec) Build(ctx *TaskCtx, out Writer) Writer {
 }
 
 type aggregateOp struct {
-	ctx    *TaskCtx
-	spec   *AggregateSpec
-	out    Writer
-	states []runtime.AggState
+	ctx      *TaskCtx
+	spec     *AggregateSpec
+	out      Writer
+	states   []runtime.AggState
+	fastCols []int
 }
 
 func (o *aggregateOp) Open() error {
@@ -301,22 +383,16 @@ func (o *aggregateOp) Open() error {
 	for i, a := range o.spec.Aggs {
 		o.states[i] = a.Fn.New()
 	}
+	if !o.ctx.EagerDecode {
+		o.fastCols = countFastCols(o.spec.Aggs)
+	}
 	return o.out.Open()
 }
 
 func (o *aggregateOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
-	return forEachTuple(fr, func(fields []item.Sequence, _ [][]byte) error {
-		for i, a := range o.spec.Aggs {
-			v, err := a.Arg.Eval(o.ctx.RT, fields)
-			if err != nil {
-				return err
-			}
-			if err := o.states[i].Step(v); err != nil {
-				return err
-			}
-		}
-		return nil
+	return forEachTupleView(fr, o.ctx.EagerDecode, func(lt *frame.LazyTuple) error {
+		return stepStates(o.ctx, o.spec.Aggs, o.fastCols, o.states, lt, nil)
 	})
 }
 
@@ -345,6 +421,14 @@ func (o *aggregateOp) Close() error {
 // key expressions; each group runs the aggregate definitions; at close one
 // tuple per group is emitted carrying the key fields then the aggregate
 // fields.
+//
+// The default implementation works entirely in the encoded domain: key
+// fields are resolved to raw encoded bytes (sliced from the tuple for
+// column keys), hashed with item.HashEncoded, matched byte-wise against the
+// bucket chain (item.EqualEncoded on byte mismatch), and interned into a
+// per-operator arena when a group is created. Tuples whose keys hit an
+// existing group touch no decoded items at all. TaskCtx.EagerDecode selects
+// the decoded-sequence reference implementation instead.
 type GroupBySpec struct {
 	Keys []runtime.Evaluator
 	Aggs []AggDef
@@ -359,6 +443,14 @@ func (s *GroupBySpec) Build(ctx *TaskCtx, out Writer) Writer {
 	return &groupByOp{ctx: ctx, spec: s, out: out}
 }
 
+// egroup is one group of the encoded-mode table.
+type egroup struct {
+	keyFields [][]byte // arena-interned encoded key fields
+	states    []runtime.AggState
+	next      *egroup // hash-chain for collision handling
+}
+
+// group is one group of the eager reference table.
 type group struct {
 	keyFields [][]byte
 	keySeqs   []item.Sequence
@@ -367,29 +459,107 @@ type group struct {
 }
 
 type groupByOp struct {
-	ctx    *TaskCtx
-	spec   *GroupBySpec
-	out    Writer
-	table  map[uint64]*group
-	order  []*group // insertion order for deterministic output
+	ctx  *TaskCtx
+	spec *GroupBySpec
+	out  Writer
+
+	// Encoded mode.
+	keys     *keyEncoder
+	fastCols []int
+	etable   map[uint64]*egroup
+	eorder   []*egroup // insertion order for deterministic output
+	arena    byteArena
+
+	// Eager reference mode.
+	eager      bool
+	table      map[uint64]*group
+	order      []*group // insertion order for deterministic output
+	keyScratch []item.Sequence
+
 	memory int64
 }
 
 func (o *groupByOp) Open() error {
-	o.table = make(map[uint64]*group)
+	o.eager = o.ctx.EagerDecode
+	if o.eager {
+		o.table = make(map[uint64]*group)
+	} else {
+		o.etable = make(map[uint64]*egroup)
+		o.keys = newKeyEncoder(o.spec.Keys)
+		o.fastCols = countFastCols(o.spec.Aggs)
+		o.keyScratch = nil
+	}
 	return o.out.Open()
 }
 
 func (o *groupByOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
-	// Keys are evaluated into one scratch slice per frame; it is copied only
-	// when a new group is created (the evaluated sequences themselves are
-	// fresh per tuple and never alias the frame, so retaining them is safe).
-	keyScratch := make([]item.Sequence, len(o.spec.Keys))
+	if o.eager {
+		return o.pushEager(fr)
+	}
+	return forEachTupleView(fr, false, func(lt *frame.LazyTuple) error {
+		kf, h, err := o.keys.resolve(o.ctx, lt)
+		if err != nil {
+			return err
+		}
+		g, err := o.elookup(h, kf)
+		if err != nil {
+			return err
+		}
+		if g == nil {
+			// New group: intern the key bytes in the arena and charge the
+			// hold (the arena reports whole-chunk reservations as they
+			// happen, so interned keys are charged like the other holds).
+			stored := make([][]byte, len(kf))
+			var sz int64 = 64
+			for i, f := range kf {
+				cp, grew := o.arena.copy(f)
+				stored[i] = cp
+				sz += grew
+			}
+			g = &egroup{keyFields: stored, states: make([]runtime.AggState, len(o.spec.Aggs)), next: o.etable[h]}
+			for i, a := range o.spec.Aggs {
+				g.states[i] = a.Fn.New()
+			}
+			o.etable[h] = g
+			o.eorder = append(o.eorder, g)
+			o.memory += sz
+			o.ctx.accountHold(sz) // charged until close; released in Close
+		}
+		return stepStates(o.ctx, o.spec.Aggs, o.fastCols, g.states, lt, func(grew int64) {
+			o.memory += grew
+			o.ctx.accountHold(grew)
+		})
+	})
+}
+
+func (o *groupByOp) elookup(h uint64, kf [][]byte) (*egroup, error) {
+	for g := o.etable[h]; g != nil; g = g.next {
+		ok, err := matchEncodedKey(g.keyFields, kf)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, nil
+}
+
+// pushEager is the decoded-sequence reference implementation: every field is
+// decoded, keys are evaluated into sequences, hashed with item.HashSeq and
+// chain-matched with item.EqualSeq — the pre-lazy pipeline, kept for
+// differential testing and as the benchmark baseline.
+func (o *groupByOp) pushEager(fr *frame.Frame) error {
+	if cap(o.keyScratch) < len(o.spec.Keys) {
+		o.keyScratch = make([]item.Sequence, len(o.spec.Keys))
+	}
+	keyScratch := o.keyScratch[:len(o.spec.Keys)]
 	return forEachTuple(fr, func(fields []item.Sequence, _ [][]byte) error {
+		tup := runtime.SeqTuple(fields)
 		var h uint64 = 1469598103934665603
 		for i, k := range o.spec.Keys {
-			v, err := k.Eval(o.ctx.RT, fields)
+			v, err := k.Eval(o.ctx.RT, tup)
 			if err != nil {
 				return err
 			}
@@ -415,7 +585,7 @@ func (o *groupByOp) Push(fr *frame.Frame) error {
 			o.ctx.accountHold(sz) // charged until close; released in Close
 		}
 		for i, a := range o.spec.Aggs {
-			v, err := a.Arg.Eval(o.ctx.RT, fields)
+			v, err := a.Arg.Eval(o.ctx.RT, tup)
 			if err != nil {
 				return err
 			}
@@ -454,25 +624,51 @@ func (o *groupByOp) Close() error {
 			o.ctx.RT.Accountant.Release(o.memory)
 		}
 		o.memory = 0
+		o.arena.release()
 	}()
 	b := newFrameBuilder(o.ctx, o.out)
-	for _, g := range o.order {
-		outFields := append([][]byte(nil), g.keyFields...)
-		for _, st := range g.states {
-			v, err := st.Finish()
-			if err != nil {
-				return err
-			}
-			outFields = append(outFields, item.EncodeSeq(nil, v))
-		}
-		if err := b.emit(outFields); err != nil {
-			return err
-		}
+	if err := o.emitGroups(b); err != nil {
+		return err
 	}
 	if err := b.flush(); err != nil {
 		return err
 	}
 	return o.out.Close()
+}
+
+// emitGroups writes one tuple per group — key fields then finished
+// aggregates — in insertion order, which is identical between the encoded
+// and eager modes (it does not depend on the hash function). The emitted key
+// bytes are identical too: column keys pass through the canonical encoding
+// unchanged, and computed keys are encoded exactly as the eager
+// frame.EncodeFields would.
+func (o *groupByOp) emitGroups(b *frameBuilder) error {
+	var out [][]byte
+	emit := func(keyFields [][]byte, states []runtime.AggState) error {
+		out = append(out[:0], keyFields...)
+		for _, st := range states {
+			v, err := st.Finish()
+			if err != nil {
+				return err
+			}
+			out = append(out, item.EncodeSeq(nil, v))
+		}
+		return b.emit(out)
+	}
+	if o.eager {
+		for _, g := range o.order {
+			if err := emit(g.keyFields, g.states); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, g := range o.eorder {
+		if err := emit(g.keyFields, g.states); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // accountHold charges bytes to the accountant without pairing the release:
@@ -521,7 +717,8 @@ func (o *subplanOp) Open() error {
 
 func (o *subplanOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
-	return forEachTuple(fr, func(_ []item.Sequence, raw [][]byte) error {
+	// The outer tuple is only copied, never inspected: raw iteration.
+	return forEachTupleRaw(fr, func(raw [][]byte) error {
 		sink := &CollectSink{}
 		w := BuildChain(o.ctx, o.spec.Nested, recycleSink{ctx: o.ctx, w: sink})
 		if err := w.Open(); err != nil {
@@ -603,15 +800,16 @@ func (o *sortOp) Open() error { return o.out.Open() }
 
 func (o *sortOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
-	return forEachTuple(fr, func(fields []item.Sequence, raw [][]byte) error {
+	return forEachTupleView(fr, o.ctx.EagerDecode, func(lt *frame.LazyTuple) error {
 		keys := make([]item.Sequence, len(o.spec.Keys))
 		for i, k := range o.spec.Keys {
-			v, err := k.Key.Eval(o.ctx.RT, fields)
+			v, err := k.Key.Eval(o.ctx.RT, lt)
 			if err != nil {
 				return err
 			}
 			keys[i] = v
 		}
+		raw := lt.Raw()
 		stored := make([][]byte, len(raw))
 		var sz int64 = 48
 		for i, f := range raw {

@@ -44,7 +44,7 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 				ChunkSize:  env.ChunkSize,
 				Indexes:    env.Indexes,
 			}
-			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, Pool: pool, morsels: queues[f.ID]}
+			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, EagerDecode: env.EagerReference, Pool: pool, morsels: queues[f.ID]}
 			var terminal Writer
 			if f.SinkExchange >= 0 {
 				e := job.exchange(f.SinkExchange)

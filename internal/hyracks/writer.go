@@ -36,6 +36,12 @@ type TaskCtx struct {
 	RT        *runtime.Ctx
 	Partition int
 	FrameSize int
+	// EagerDecode switches the operators to their eager reference
+	// implementations: every field of every tuple is decoded before the
+	// operator runs, and group-by/exchange/join hash and compare decoded
+	// sequences. It reproduces the pre-lazy pipeline for differential tests
+	// and benchmarks, mirroring jsonparse's SetReferenceSkip.
+	EagerDecode bool
 	// Pool recycles output frames across operators and tasks (may be nil,
 	// in which case frames are plainly allocated and never returned).
 	Pool *frame.Pool
@@ -130,10 +136,6 @@ func tupleBytes(fields [][]byte) int {
 	return n
 }
 
-func (b *frameBuilder) emitSeqs(seqs []item.Sequence) error {
-	return b.emit(frame.EncodeFields(seqs))
-}
-
 func (b *frameBuilder) flush() error {
 	if b.fr == nil {
 		return nil
@@ -170,6 +172,38 @@ func forEachTuple(fr *frame.Frame, f func(fields []item.Sequence, raw [][]byte) 
 			return err
 		}
 		if err := f(seqs, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachTupleView iterates a frame through a lazy tuple view: fields are
+// decoded only when the callback asks for them (and memoized per tuple).
+// With eager set, every field is decoded up front — the reference mode that
+// reproduces the pre-lazy forEachTuple behaviour. The view is rebound from
+// tuple to tuple; a callback must not retain it across calls (sequences
+// obtained from Field are stable and may be retained). The view lives on
+// this call's stack, so nested iteration (a subplan pushing an inner frame
+// mid-callback) is safe.
+func forEachTupleView(fr *frame.Frame, eager bool, f func(lt *frame.LazyTuple) error) error {
+	var (
+		raw [][]byte
+		lt  frame.LazyTuple
+		err error
+	)
+	for i := 0; i < fr.TupleCount(); i++ {
+		raw, err = fr.TupleFields(i, raw)
+		if err != nil {
+			return err
+		}
+		lt.Reset(raw)
+		if eager {
+			if err := lt.DecodeAll(); err != nil {
+				return err
+			}
+		}
+		if err := f(&lt); err != nil {
 			return err
 		}
 	}

@@ -25,6 +25,16 @@ type AggState interface {
 	Size() int64
 }
 
+// CountStepper is an optional AggState fast path for states that only need
+// the number of items in each input, not the items themselves. Operators
+// that hold tuples in encoded form read the sequence count straight from the
+// encoding (item.SeqCountEncoded) and call StepCount instead of evaluating
+// and decoding the argument. StepCount(len(v)) must be equivalent to
+// Step(v) for every input v.
+type CountStepper interface {
+	StepCount(n int64) error
+}
+
 var aggFuncs = map[string]*AggFunc{}
 
 func registerAgg(f *AggFunc) *AggFunc {
@@ -87,6 +97,13 @@ type countState struct{ n int64 }
 
 func (s *countState) Step(v item.Sequence) error {
 	s.n += int64(len(v))
+	return nil
+}
+
+// StepCount implements the CountStepper fast path: counting never needs the
+// decoded items.
+func (s *countState) StepCount(n int64) error {
+	s.n += n
 	return nil
 }
 func (s *countState) Finish() (item.Sequence, error) {

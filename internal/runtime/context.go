@@ -243,6 +243,37 @@ type Ctx struct {
 	// Indexes provides zone-map lookups for DATASCAN file pruning (may be
 	// nil).
 	Indexes IndexLookup
+
+	// argScratch is a stack of recycled argument slices for CallEval, so
+	// nested calls evaluated tuple after tuple never re-allocate their
+	// argument arrays. A Ctx is confined to one partition pipeline, so the
+	// stack needs no locking.
+	argScratch [][]item.Sequence
+}
+
+// borrowArgs pops (or allocates) an argument slice of length n. Safe on a
+// nil context, which simply allocates.
+func (c *Ctx) borrowArgs(n int) []item.Sequence {
+	if c == nil || len(c.argScratch) == 0 {
+		return make([]item.Sequence, n)
+	}
+	s := c.argScratch[len(c.argScratch)-1]
+	c.argScratch = c.argScratch[:len(c.argScratch)-1]
+	if cap(s) < n {
+		return make([]item.Sequence, n)
+	}
+	return s[:n]
+}
+
+// returnArgs clears a borrowed slice and pushes it back for reuse.
+func (c *Ctx) returnArgs(s []item.Sequence) {
+	if c == nil || s == nil {
+		return
+	}
+	for i := range s {
+		s[i] = nil
+	}
+	c.argScratch = append(c.argScratch, s)
 }
 
 // ScanChunkSize resolves the effective streaming chunk size.

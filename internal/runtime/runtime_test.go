@@ -334,7 +334,7 @@ func writeFile(path, content string) error {
 
 func TestEvaluators(t *testing.T) {
 	ctx := NewCtx(nil)
-	fields := []item.Sequence{
+	fields := SeqTuple{
 		one(item.Number(10)),
 		one(item.ObjectFromPairs("k", item.String("v"))),
 	}
