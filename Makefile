@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-query bench-smoke fuzz-smoke fmt vet
+.PHONY: all build test race bench bench-query bench-smoke fuzz-smoke profile-smoke fmt vet
 
 all: build test
 
@@ -42,6 +42,20 @@ bench-query:
 # iteration), catching bit-rot in the harness without burning CI minutes.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# profile-smoke is the CI guard for the observability layer: the smoke test
+# profiles Q0-Q2 through both executors and validates the trace span schema,
+# then the CLI leg generates a small collection and runs Q1 with
+# -profile -trace end to end, checking a trace file comes out.
+profile-smoke:
+	$(GO) test -run TestProfileSmoke -v ./internal/bench
+	rm -rf /tmp/vxq-profile-smoke && mkdir -p /tmp/vxq-profile-smoke
+	$(GO) run ./cmd/gendata -out /tmp/vxq-profile-smoke/sensors -files 4 -records 24 -split
+	$(GO) run ./cmd/vxq -mount /sensors=/tmp/vxq-profile-smoke/sensors -partitions 2 \
+		-profile -trace /tmp/vxq-profile-smoke/trace.json \
+		'for $$r in collection("/sensors")("root")()("results")() where $$r("dataType") eq "TMIN" group by $$date := $$r("date") return count($$r("station"))' \
+		>/dev/null
+	test -s /tmp/vxq-profile-smoke/trace.json
 
 # fuzz-smoke runs the raw-skip differential fuzzer briefly: the structural
 # skip, the token-level reference, and encoding/json must keep agreeing on

@@ -204,11 +204,14 @@ func runParseBench(out string, minDur time.Duration) error {
 }
 
 // queryShapeReport pairs the encoded and eager measurements of one shape
-// with the resulting speedup.
+// with the resulting speedup, plus the profiled kernel run and its relative
+// overhead (profiled/encoded seconds).
 type queryShapeReport struct {
-	Encoded bench.QueryBenchResult `json:"encoded"`
-	Eager   bench.QueryBenchResult `json:"eager"`
-	Speedup float64                `json:"speedup"`
+	Encoded         bench.QueryBenchResult `json:"encoded"`
+	Eager           bench.QueryBenchResult `json:"eager"`
+	Profiled        bench.QueryBenchResult `json:"profiled"`
+	Speedup         float64                `json:"speedup"`
+	ProfileOverhead float64                `json:"profile_overhead"`
 }
 
 type queryReport struct {
@@ -231,13 +234,20 @@ func runQueryBench(out string, tuples int, minDur time.Duration) error {
 		if err != nil {
 			return err
 		}
-		rep.Shapes[shape] = queryShapeReport{
-			Encoded: enc,
-			Eager:   eag,
-			Speedup: eag.Seconds / enc.Seconds,
+		prof, err := bench.MeasureQueryBench(shape, "profiled", tuples, minDur)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("%s: encoded %.2f Mtuples/s (%.4f allocs/tuple), eager %.2f Mtuples/s, speedup %.2fx\n",
-			shape, enc.MTuplesPerSec, enc.AllocsPerTuple, eag.MTuplesPerSec, rep.Shapes[shape].Speedup)
+		rep.Shapes[shape] = queryShapeReport{
+			Encoded:         enc,
+			Eager:           eag,
+			Profiled:        prof,
+			Speedup:         eag.Seconds / enc.Seconds,
+			ProfileOverhead: prof.Seconds / enc.Seconds,
+		}
+		fmt.Printf("%s: encoded %.2f Mtuples/s (%.4f allocs/tuple), eager %.2f Mtuples/s, speedup %.2fx, profiled overhead %.3fx\n",
+			shape, enc.MTuplesPerSec, enc.AllocsPerTuple, eag.MTuplesPerSec,
+			rep.Shapes[shape].Speedup, rep.Shapes[shape].ProfileOverhead)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

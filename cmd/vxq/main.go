@@ -55,6 +55,8 @@ func run() error {
 	noGroup := fs.Bool("no-groupby-rules", false, "disable the group-by rules (§4.3)")
 	explain := fs.Bool("explain", false, "print the plans instead of executing")
 	stats := fs.Bool("stats", false, "print execution statistics to stderr")
+	profile := fs.Bool("profile", false, "print the per-operator execution profile to stderr (runs the staged executor so operator self-times account for the job wall)")
+	trace := fs.String("trace", "", "write the machine-readable JSON profile trace to this file (implies profiling)")
 	morselKB := fs.Int64("morsel-kb", 0, "scan morsel size in KiB (0 = default 4 MiB); large files split into byte-range morsels")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
@@ -81,6 +83,11 @@ func run() error {
 		DisablePipeliningRules: *noPipe,
 		DisableGroupByRules:    *noGroup,
 		MorselSize:             *morselKB << 10,
+		Profile:                *profile || *trace != "",
+		// -profile renders per-operator self times that should sum to the
+		// job wall; only the staged executor gives that accounting (the
+		// pipelined executor's times include channel blocking).
+		Staged: *profile,
 	})
 	for name, dir := range mounts {
 		eng.Mount(name, dir)
@@ -111,6 +118,22 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "items: %d  files: %d  bytes read: %d  tuples: %d  shuffled: %d  peak memory: %d\n",
 			len(res.Items), res.Stats.FilesRead, res.Stats.BytesRead,
 			res.Stats.TuplesProduced, res.Stats.BytesShuffled, res.PeakMemory)
+	}
+	if *profile && res.Profile != nil {
+		fmt.Fprint(os.Stderr, res.Profile.String())
+	}
+	if *trace != "" && res.Profile != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		if err := res.Profile.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

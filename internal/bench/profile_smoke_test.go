@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"vxq/internal/core"
+	"vxq/internal/frame"
+	"vxq/internal/hyracks"
+)
+
+// profileSpanKeys is the documented trace span schema (DESIGN.md §Profiling):
+// every span object of a -trace file must carry exactly these keys.
+var profileSpanKeys = []string{
+	"fragment", "partition", "stage", "name", "kind", "start_ns", "end_ns",
+	"push_ns", "open_close_ns", "self_ns",
+	"frames_in", "tuples_in", "bytes_in",
+	"frames_out", "tuples_out", "bytes_out",
+	"frames_forwarded", "frames_rebuilt",
+	"mem_peak", "hash_collisions", "arena_bytes",
+	"morsels", "morsel_steals",
+}
+
+// TestProfileSmoke runs the paper's Q0, Q1 and Q2 end to end with profiling
+// on (both executors) and validates the collected profile: a plan-shaped
+// tree, a trace that round-trips through JSON with the documented span
+// schema, and — on the staged executor, whose tasks run sequentially —
+// operator self-times that account for the job wall clock. This is the test
+// behind `make profile-smoke`.
+func TestProfileSmoke(t *testing.T) {
+	cfg := defaultDataset(Settings{})
+	src, _, err := sensorSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []struct{ name, text string }{
+		{"Q0", QueryQ0},
+		{"Q1", QueryQ1},
+		{"Q2", QueryQ2},
+	}
+	for _, q := range queries {
+		for _, staged := range []bool{true, false} {
+			name := q.name + "/pipelined"
+			if staged {
+				name = q.name + "/staged"
+			}
+			t.Run(name, func(t *testing.T) {
+				c, err := core.CompileQuery(q.text, core.Options{Rules: core.AllRules(), Partitions: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				env := &hyracks.Env{Source: src, Accountant: frame.NewAccountant(0), Profile: true}
+				var res *hyracks.Result
+				if staged {
+					res, err = hyracks.RunStaged(c.Job, env)
+				} else {
+					res, err = hyracks.RunPipelined(c.Job, env)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := res.Profile
+				if p == nil || p.Root == nil {
+					t.Fatal("profiled run returned no profile tree")
+				}
+				if len(p.Spans) == 0 {
+					t.Fatal("profiled run collected no spans")
+				}
+				if p.Root.Kind != "sink" {
+					t.Errorf("profile root is %q (%s), want the sink", p.Root.Name, p.Root.Kind)
+				}
+				// Every query scans /sensors: the tree must reach a DATASCAN leaf.
+				if !treeContains(p.Root, "DATASCAN") {
+					t.Errorf("profile tree has no DATASCAN node:\n%s", p.String())
+				}
+				// The trace must serialize with the documented span schema.
+				var buf bytes.Buffer
+				if err := p.WriteTrace(&buf); err != nil {
+					t.Fatal(err)
+				}
+				var raw struct {
+					WallNS int64            `json:"wall_ns"`
+					Spans  []map[string]any `json:"spans"`
+				}
+				if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+					t.Fatalf("trace is not valid JSON: %v", err)
+				}
+				if raw.WallNS <= 0 || len(raw.Spans) != len(p.Spans) {
+					t.Errorf("trace header mismatch: wall %d, %d/%d spans", raw.WallNS, len(raw.Spans), len(p.Spans))
+				}
+				for _, sp := range raw.Spans {
+					for _, k := range profileSpanKeys {
+						if _, ok := sp[k]; !ok {
+							t.Fatalf("trace span missing %q: %v", k, sp)
+						}
+					}
+				}
+				// Staged tasks run one after another, so summed operator
+				// self-time must account for the job wall clock (within 10%
+				// for scheduling gaps between tasks).
+				if staged {
+					sum := p.SelfSumNS()
+					lo := float64(p.WallNS) * 0.9
+					if float64(sum) < lo || sum > p.WallNS {
+						t.Errorf("self-time sum %d outside [%.0f, %d] of wall", sum, lo, p.WallNS)
+					}
+				}
+			})
+		}
+	}
+}
+
+func treeContains(n *hyracks.ProfileNode, prefix string) bool {
+	if n == nil {
+		return false
+	}
+	if len(n.Name) >= len(prefix) && n.Name[:len(prefix)] == prefix {
+		return true
+	}
+	for _, c := range n.Children {
+		if treeContains(c, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -14,7 +14,7 @@ import (
 // reference on GROUP-BY, hash shuffle, and hash join. Run with -benchmem;
 // allocs per input tuple is reported as a custom metric.
 
-func benchQueryShape(b *testing.B, shape string, eager bool) {
+func benchQueryShape(b *testing.B, shape, mode string) {
 	b.Helper()
 	const tuples = 100_000
 	frames := hyracks.BenchFrames(QueryBenchRows(tuples), 0)
@@ -22,7 +22,7 @@ func benchQueryShape(b *testing.B, shape string, eager bool) {
 	if shape == "join" {
 		build = hyracks.BenchFrames(QueryBenchRows(QueryBenchKeys), 0)
 	}
-	if _, err := RunQueryBenchPass(shape, frames, build, eager); err != nil {
+	if _, err := RunQueryBenchPass(shape, mode, frames, build); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -30,7 +30,7 @@ func benchQueryShape(b *testing.B, shape string, eager bool) {
 	goruntime.ReadMemStats(&m0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunQueryBenchPass(shape, frames, build, eager); err != nil {
+		if _, err := RunQueryBenchPass(shape, mode, frames, build); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,12 +40,15 @@ func benchQueryShape(b *testing.B, shape string, eager bool) {
 	b.ReportMetric(float64(int64(b.N)*tuples)/b.Elapsed().Seconds()/1e6, "mtuples/s")
 }
 
-func BenchmarkGroupByEncoded(b *testing.B)     { benchQueryShape(b, "groupby", false) }
-func BenchmarkGroupByEager(b *testing.B)       { benchQueryShape(b, "groupby", true) }
-func BenchmarkHashShuffleEncoded(b *testing.B) { benchQueryShape(b, "shuffle", false) }
-func BenchmarkHashShuffleEager(b *testing.B)   { benchQueryShape(b, "shuffle", true) }
-func BenchmarkHashJoinEncoded(b *testing.B)    { benchQueryShape(b, "join", false) }
-func BenchmarkHashJoinEager(b *testing.B)      { benchQueryShape(b, "join", true) }
+func BenchmarkGroupByEncoded(b *testing.B)      { benchQueryShape(b, "groupby", "encoded") }
+func BenchmarkGroupByEager(b *testing.B)        { benchQueryShape(b, "groupby", "eager") }
+func BenchmarkGroupByProfiled(b *testing.B)     { benchQueryShape(b, "groupby", "profiled") }
+func BenchmarkHashShuffleEncoded(b *testing.B)  { benchQueryShape(b, "shuffle", "encoded") }
+func BenchmarkHashShuffleEager(b *testing.B)    { benchQueryShape(b, "shuffle", "eager") }
+func BenchmarkHashShuffleProfiled(b *testing.B) { benchQueryShape(b, "shuffle", "profiled") }
+func BenchmarkHashJoinEncoded(b *testing.B)     { benchQueryShape(b, "join", "encoded") }
+func BenchmarkHashJoinEager(b *testing.B)       { benchQueryShape(b, "join", "eager") }
+func BenchmarkHashJoinProfiled(b *testing.B)    { benchQueryShape(b, "join", "profiled") }
 
 // TestQueryKernelBounds pins the acceptance bounds of the binary tuple
 // kernel: the encoded GROUP-BY stays under 0.1 allocations per input tuple,
@@ -89,5 +92,76 @@ func TestQueryKernelBounds(t *testing.T) {
 	}
 	if encJ.Seconds >= eagJ.Seconds {
 		t.Logf("join: encoded not faster (%.4fs vs %.4fs) — informational only", encJ.Seconds, eagJ.Seconds)
+	}
+}
+
+// TestProfileOverheadBound pins the profiling tax: the kernel with the
+// boundary wrappers installed must stay within 3% of the unprofiled kernel
+// on the query-kernel shapes. Passes of the two modes are interleaved (the
+// pair order alternating each iteration) and each side takes its best pass,
+// so drift of the machine (frequency scaling, co-tenants, the rest of the
+// test suite running in sibling processes) cancels instead of biasing one
+// mode. A shape over the bound is re-measured with a longer window before
+// failing — transient contention must not fail CI, persistent overhead must.
+func TestProfileOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping profile overhead bound in -short")
+	}
+	const tuples = 100_000
+	const minDur = 600 * time.Millisecond
+	const bound = 1.03
+	for _, shape := range []string{"groupby", "shuffle", "join"} {
+		frames := hyracks.BenchFrames(QueryBenchRows(tuples), 0)
+		var build []*frame.Frame
+		if shape == "join" {
+			build = hyracks.BenchFrames(QueryBenchRows(QueryBenchKeys), 0)
+		}
+		// Warm-up both modes; outputs must agree.
+		baseOut, err := RunQueryBenchPass(shape, "encoded", frames, build)
+		if err != nil {
+			t.Fatalf("%s/encoded: %v", shape, err)
+		}
+		profOut, err := RunQueryBenchPass(shape, "profiled", frames, build)
+		if err != nil {
+			t.Fatalf("%s/profiled: %v", shape, err)
+		}
+		if baseOut != profOut {
+			t.Fatalf("%s: profiled output %d != unprofiled output %d", shape, profOut, baseOut)
+		}
+		measure := func(dur time.Duration) float64 {
+			best := map[string]float64{}
+			passes := 0
+			for deadline := time.Now().Add(dur); time.Now().Before(deadline); passes++ {
+				modes := []string{"encoded", "profiled"}
+				if passes%2 == 1 {
+					modes[0], modes[1] = modes[1], modes[0]
+				}
+				for _, mode := range modes {
+					start := time.Now()
+					if _, err := RunQueryBenchPass(shape, mode, frames, build); err != nil {
+						t.Fatalf("%s/%s: %v", shape, mode, err)
+					}
+					sec := time.Since(start).Seconds()
+					if best[mode] == 0 || sec < best[mode] {
+						best[mode] = sec
+					}
+				}
+			}
+			ratio := best["profiled"] / best["encoded"]
+			t.Logf("%s: profiled/unprofiled = %.4f (%.4fs vs %.4fs over %d interleaved passes)",
+				shape, ratio, best["profiled"], best["encoded"], passes)
+			return ratio
+		}
+		ratio := measure(minDur)
+		for attempt := 0; ratio > bound && attempt < 2; attempt++ {
+			t.Logf("%s: over the bound, re-measuring with a longer window", shape)
+			if r := measure(2 * minDur); r < ratio {
+				ratio = r
+			}
+		}
+		if ratio > bound {
+			t.Errorf("%s: profiling overhead %.1f%% exceeds the %.0f%% bound",
+				shape, 100*(ratio-1), 100*(bound-1))
+		}
 	}
 }

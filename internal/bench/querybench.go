@@ -77,15 +77,19 @@ type QueryBenchResult struct {
 
 // RunQueryBenchPass runs one pass of a shape over prebuilt frames and
 // returns the number of output tuples (groups, routed tuples, or joined
-// tuples depending on the shape).
-func RunQueryBenchPass(shape string, frames, build []*frame.Frame, eager bool) (int64, error) {
+// tuples depending on the shape). Modes: "encoded" (the binary tuple
+// kernel), "eager" (the decoded reference), and "profiled" (the kernel with
+// the profiling boundary wrappers installed, for overhead measurement).
+func RunQueryBenchPass(shape, mode string, frames, build []*frame.Frame) (int64, error) {
+	eager := mode == "eager"
+	profiled := mode == "profiled"
 	switch shape {
 	case "groupby":
-		return hyracks.BenchGroupBy(queryBenchGroupBy(), frames, eager)
+		return hyracks.BenchGroupBy(queryBenchGroupBy(), frames, eager, profiled)
 	case "shuffle":
-		return hyracks.BenchHashShuffle([]runtime.Evaluator{runtime.ColumnEval{Col: 0}}, 8, frames, eager)
+		return hyracks.BenchHashShuffle([]runtime.Evaluator{runtime.ColumnEval{Col: 0}}, 8, frames, eager, profiled)
 	case "join":
-		return hyracks.BenchHashJoin(queryBenchJoin(), build, frames, eager)
+		return hyracks.BenchHashJoin(queryBenchJoin(), build, frames, eager, profiled)
 	default:
 		return 0, fmt.Errorf("unknown query bench shape %q", shape)
 	}
@@ -97,14 +101,13 @@ func RunQueryBenchPass(shape string, frames, build []*frame.Frame, eager bool) (
 // tuples sizes the probe/input side; the join build side always holds one
 // row per distinct key.
 func MeasureQueryBench(shape, mode string, tuples int, minDuration time.Duration) (QueryBenchResult, error) {
-	eager := mode == "eager"
 	frames := hyracks.BenchFrames(QueryBenchRows(tuples), 0)
 	var build []*frame.Frame
 	if shape == "join" {
 		build = hyracks.BenchFrames(QueryBenchRows(QueryBenchKeys), 0)
 	}
 	// Warm-up pass.
-	out, err := RunQueryBenchPass(shape, frames, build, eager)
+	out, err := RunQueryBenchPass(shape, mode, frames, build)
 	if err != nil {
 		return QueryBenchResult{}, err
 	}
@@ -117,7 +120,7 @@ func MeasureQueryBench(shape, mode string, tuples int, minDuration time.Duration
 	goruntime.ReadMemStats(&m0)
 	for {
 		start := time.Now()
-		o, err := RunQueryBenchPass(shape, frames, build, eager)
+		o, err := RunQueryBenchPass(shape, mode, frames, build)
 		sec := time.Since(start).Seconds()
 		if err != nil {
 			return QueryBenchResult{}, err

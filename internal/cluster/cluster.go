@@ -55,6 +55,9 @@ type Execution struct {
 	MeasuredWork time.Duration
 	// Compiled carries the plans for inspection.
 	Compiled *core.Compiled
+	// Profile is the per-operator execution profile of the real (staged)
+	// run whose task times the scheduler model consumed.
+	Profile *hyracks.Profile
 }
 
 // Run compiles and executes a query on the modeled cluster.
@@ -66,7 +69,7 @@ func Run(query string, rules core.RuleConfig, cfg Config, src runtime.Source) (*
 	if err != nil {
 		return nil, err
 	}
-	res, err := hyracks.RunStaged(compiled.Job, &hyracks.Env{Source: src})
+	res, err := hyracks.RunStaged(compiled.Job, &hyracks.Env{Source: src, Profile: true})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
@@ -87,5 +90,6 @@ func Run(query string, rules core.RuleConfig, cfg Config, src runtime.Source) (*
 		SimulatedWall: wall,
 		MeasuredWork:  work,
 		Compiled:      compiled,
+		Profile:       res.Profile,
 	}, nil
 }

@@ -239,7 +239,9 @@ func TestExchangeForwardsWholeFrames(t *testing.T) {
 
 // TestAccountantBalancesToZeroBothModes extends the accountant invariant to
 // both decode modes over the blocking operators (group-by holds an arena and
-// interned keys in lazy mode, decoded key sequences in eager mode).
+// interned keys in lazy mode, decoded key sequences in eager mode), with and
+// without profile collection — the profiling wrappers and counter snapshots
+// must not perturb a single charge/release pair.
 func TestAccountantBalancesToZeroBothModes(t *testing.T) {
 	sortSpec := &SortSpec{Keys: []SortDef{{Key: col(1)}}}
 	jobs := map[string]*Job{
@@ -251,15 +253,33 @@ func TestAccountantBalancesToZeroBothModes(t *testing.T) {
 	}
 	for name, job := range jobs {
 		for _, eager := range []bool{false, true} {
-			acct := frame.NewAccountant(0)
-			if _, err := RunStaged(job, &Env{Source: testSource(), Accountant: acct, EagerReference: eager}); err != nil {
-				t.Fatalf("%s (eager=%v): %v", name, eager, err)
-			}
-			if cur := acct.Current(); cur != 0 {
-				t.Errorf("%s (eager=%v): accountant balance = %d after clean end, want 0", name, eager, cur)
-			}
-			if acct.Peak() <= 0 {
-				t.Errorf("%s (eager=%v): peak = %d, want > 0", name, eager, acct.Peak())
+			for _, profile := range []bool{false, true} {
+				acct := frame.NewAccountant(0)
+				env := &Env{Source: testSource(), Accountant: acct, EagerReference: eager, Profile: profile}
+				res, err := RunStaged(job, env)
+				if err != nil {
+					t.Fatalf("%s (eager=%v profile=%v): %v", name, eager, profile, err)
+				}
+				if cur := acct.Current(); cur != 0 {
+					t.Errorf("%s (eager=%v profile=%v): accountant balance = %d after clean end, want 0",
+						name, eager, profile, cur)
+				}
+				if acct.Peak() <= 0 {
+					t.Errorf("%s (eager=%v profile=%v): peak = %d, want > 0", name, eager, profile, acct.Peak())
+				}
+				if profile {
+					// The profile's held-memory high-water must be visible in
+					// at least one keyed operator's span.
+					var peak int64
+					for _, sp := range res.Profile.Spans {
+						if sp.MemPeak > peak {
+							peak = sp.MemPeak
+						}
+					}
+					if peak <= 0 {
+						t.Errorf("%s (eager=%v): no span reports a memory high-water", name, eager)
+					}
+				}
 			}
 		}
 	}

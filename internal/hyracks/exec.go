@@ -38,6 +38,11 @@ type Env struct {
 	// encoded-domain paths. Differential tests compare both modes; benchmarks
 	// use it as the baseline.
 	EagerReference bool
+	// Profile collects per-operator metrics (Result.Profile): every stage
+	// boundary is wrapped with timing and flow counters, gathered per task
+	// and merged once at job end. Off by default — an unprofiled run builds
+	// exactly the unwrapped chain and pays nothing.
+	Profile bool
 }
 
 func (e *Env) accountant() *frame.Accountant {
@@ -104,6 +109,9 @@ type TaskTime struct {
 	// balanced a skewed file set; under the static deal it shows the
 	// deterministic per-partition split.
 	Morsels int
+	// Steals is how many of those morsels were taken off another partition's
+	// static share (always 0 under the staged executor's round-robin deal).
+	Steals int
 }
 
 // Result is the outcome of a job execution.
@@ -116,6 +124,9 @@ type Result struct {
 	Stats runtime.Stats
 	// PeakMemory is the accountant's high-water mark in bytes.
 	PeakMemory int64
+	// Profile is the per-operator profile tree and span list (nil unless
+	// Env.Profile was set).
+	Profile *Profile
 }
 
 // SortRows orders the result canonically (for deterministic comparison
@@ -144,11 +155,23 @@ type frameDest interface {
 	send(fr *frame.Frame) error
 }
 
-type destWriter struct{ d frameDest }
+// destWriter adapts a frameDest to the Writer interface. When it belongs to
+// an exchange it counts the re-framed ("rebuilt") output flowing through it.
+type destWriter struct {
+	d  frameDest
+	ew *exchangeWriter
+}
 
-func (w destWriter) Open() error                { return nil }
-func (w destWriter) Push(fr *frame.Frame) error { return w.d.send(fr) }
-func (w destWriter) Close() error               { return nil }
+func (w destWriter) Open() error { return nil }
+func (w destWriter) Push(fr *frame.Frame) error {
+	if w.ew != nil {
+		w.ew.rebuilt++
+		w.ew.tuplesOut += int64(fr.TupleCount())
+		w.ew.bytesOut += int64(fr.Size())
+	}
+	return w.d.send(fr)
+}
+func (w destWriter) Close() error { return nil }
 
 // exchangeWriter is the sink side of an exchange: it routes tuples to
 // consumer partitions according to the exchange kind. Hash exchanges route
@@ -162,6 +185,12 @@ type exchangeWriter struct {
 	dests    []frameDest
 	builders []*frameBuilder
 	keys     *keyEncoder
+
+	// Profile counters (a handful of adds per frame; see profExtras).
+	forwarded int64 // whole frames handed to a destination untouched
+	rebuilt   int64 // frames re-framed tuple by tuple through the builders
+	tuplesOut int64
+	bytesOut  int64
 }
 
 func newExchangeWriter(ctx *TaskCtx, exch *Exchange, dests []frameDest) *exchangeWriter {
@@ -174,7 +203,7 @@ func (w *exchangeWriter) Open() error {
 		// frames and need no builders.
 		w.builders = make([]*frameBuilder, len(w.dests))
 		for i, d := range w.dests {
-			w.builders[i] = newFrameBuilder(w.ctx, destWriter{d})
+			w.builders[i] = newFrameBuilder(w.ctx, destWriter{d: d, ew: w})
 		}
 		if !w.ctx.EagerDecode {
 			w.keys = newKeyEncoder(w.exch.Keys)
@@ -205,6 +234,9 @@ func (w *exchangeWriter) Push(fr *frame.Frame) error {
 			}
 			st.BytesShuffled += sz
 		}
+		w.forwarded++
+		w.tuplesOut += int64(fr.TupleCount())
+		w.bytesOut += int64(fr.Size())
 		return w.dests[p].send(fr)
 	}
 	defer w.ctx.recycle(fr)
@@ -269,6 +301,16 @@ func (w *exchangeWriter) Close() error {
 	return nil
 }
 
+// profExtras implements opStatser: the exchange's forwarded-vs-rebuilt frame
+// split and its outbound flow.
+func (w *exchangeWriter) profExtras(x *opExtras) {
+	x.framesForwarded = w.forwarded
+	x.framesRebuilt = w.rebuilt
+	x.framesOut = w.forwarded + w.rebuilt
+	x.tuplesOut = w.tuplesOut
+	x.bytesOut = w.bytesOut
+}
+
 // runSource drives a fragment's source, pushing its tuples through w
 // (already the head of the operator chain).
 func runSource(ctx *TaskCtx, f *Fragment, w Writer, in sourceInput) error {
@@ -313,7 +355,16 @@ func feedSource(ctx *TaskCtx, f *Fragment, w Writer, in sourceInput) error {
 		}); err != nil {
 			return err
 		}
-		return b.flush()
+		if err := b.flush(); err != nil {
+			return err
+		}
+		if ctx.prof != nil {
+			// The joiner is part of the source stage (it feeds the chain, it
+			// is not a Writer in it); attach its counters to the source span
+			// before release drops the arena.
+			j.profExtras(&ctx.prof.stages[0].x)
+		}
+		return nil
 	default:
 		return fmt.Errorf("hyracks: unknown source %T", f.Source)
 	}
@@ -345,11 +396,14 @@ func runScan(ctx *TaskCtx, s ScanSource, partitions int, w Writer) error {
 	}
 	sc := &scanState{ctx: ctx, b: newFrameBuilder(ctx, w), field: make([][]byte, 1), seq1: make(item.Sequence, 1)}
 	for {
-		m, ok := q.take(ctx.Partition)
+		m, stolen, ok := q.take(ctx.Partition)
 		if !ok {
 			break
 		}
 		ctx.MorselsScanned++
+		if stolen {
+			ctx.MorselsStolen++
+		}
 		if err := scanMorsel(ctx, sc, s, m); err != nil {
 			return m.wrap(err)
 		}

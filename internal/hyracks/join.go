@@ -28,6 +28,10 @@ type joiner struct {
 	spec   *JoinSpec
 	memory int64
 
+	// Profile counters (see profExtras).
+	memPeak    int64
+	collisions int64
+
 	// Encoded mode.
 	buildKeys *keyEncoder
 	probeKeys *keyEncoder
@@ -67,6 +71,25 @@ func newJoiner(ctx *TaskCtx, spec *JoinSpec) *joiner {
 	return j
 }
 
+// hold charges sz bytes of retained build-table state (released once by
+// release), tracking the high-water for the profiler.
+func (j *joiner) hold(sz int64) {
+	j.memory += sz
+	if j.memory > j.memPeak {
+		j.memPeak = j.memory
+	}
+	j.ctx.accountHold(sz)
+}
+
+// profExtras reports the join's counters into the fragment source span. It
+// must run before release drops the arena (feedSource calls it right after
+// the probe completes).
+func (j *joiner) profExtras(x *opExtras) {
+	x.memPeak = j.memPeak
+	x.hashCollisions = j.collisions
+	x.arenaBytes = j.arena.reserved
+}
+
 // build inserts one build-side frame into the hash table. The frame arrives
 // from an exchange and is consumed here (raw bytes are copied into the
 // table), so it is recycled on return.
@@ -90,8 +113,7 @@ func (j *joiner) build(fr *frame.Frame) error {
 				cp, grew := j.arena.copy(f)
 				stored[i] = cp
 				if grew > 0 {
-					j.memory += grew
-					j.ctx.accountHold(grew)
+					j.hold(grew)
 				}
 			}
 			b = &ejoinBucket{key: stored, next: j.etable[h]}
@@ -105,8 +127,7 @@ func (j *joiner) build(fr *frame.Frame) error {
 			sz += int64(len(f))
 		}
 		b.rows = append(b.rows, joinRow{raw: stored})
-		j.memory += sz
-		j.ctx.accountHold(sz)
+		j.hold(sz)
 		return nil
 	})
 }
@@ -129,8 +150,7 @@ func (j *joiner) buildEager(fr *frame.Frame) error {
 			sz += int64(len(f))
 		}
 		b.rows = append(b.rows, joinRow{raw: stored})
-		j.memory += sz
-		j.ctx.accountHold(sz)
+		j.hold(sz)
 		return nil
 	})
 }
@@ -158,6 +178,7 @@ func (j *joiner) elookup(h uint64, kf [][]byte) (*ejoinBucket, error) {
 		if ok {
 			return b, nil
 		}
+		j.collisions++ // a chain entry with this hash but a different key
 	}
 	return nil, nil
 }
@@ -174,6 +195,7 @@ func (j *joiner) lookup(h uint64, keys []item.Sequence) *joinBucket {
 		if match {
 			return b
 		}
+		j.collisions++
 	}
 	return nil
 }

@@ -14,11 +14,16 @@ import (
 const DefaultMorselSize int64 = 4 << 20
 
 // morsel is one unit of scan work: a byte range of one file. A record whose
-// first byte lies inside [start, end) belongs to this morsel, even when its
-// tail extends past end — the record-alignment rule borrowed from Hadoop's
-// line reader, valid because a raw '\n' never occurs inside a JSON string
+// line start (the offset just past the '\n' preceding it, or offset 0)
+// lies inside [start, end) belongs to this morsel, even when its tail
+// extends past end — the record-alignment rule borrowed from Hadoop's line
+// reader, valid because a raw '\n' never occurs inside a JSON string
 // (control characters must be escaped), so newline-delimited values can be
-// re-aligned from any offset.
+// re-aligned from any offset. Anchoring ownership at the line start (not
+// the record's first non-whitespace byte) keeps producer and consumer
+// consistent when whitespace follows the separating newline, and means a
+// final record without a trailing newline is owned by exactly the morsel
+// its line begins in, no matter how many morsel boundaries it straddles.
 type morsel struct {
 	file  string
 	start int64
@@ -67,23 +72,26 @@ func newMorselQueue(morsels []morsel, partitions int, shared bool) *morselQueue 
 
 // take returns the next morsel for the given partition, or ok=false when the
 // partition's work is exhausted. Safe for concurrent use in shared mode.
-func (q *morselQueue) take(partition int) (morsel, bool) {
+// stolen reports whether the morsel would have been dealt to a different
+// partition under the static round-robin deal — the work-stealing signal the
+// profiler surfaces per scan task.
+func (q *morselQueue) take(partition int) (m morsel, stolen, ok bool) {
 	if q.shared {
 		i := q.cursor.Add(1) - 1
 		if i >= int64(len(q.morsels)) {
-			return morsel{}, false
+			return morsel{}, false, false
 		}
-		return q.morsels[i], true
+		return q.morsels[i], int(i%int64(q.parts)) != partition, true
 	}
 	if partition < 0 || partition >= q.parts {
-		return morsel{}, false
+		return morsel{}, false, false
 	}
 	i := q.local[partition]*q.parts + partition
 	if i >= len(q.morsels) {
-		return morsel{}, false
+		return morsel{}, false, false
 	}
 	q.local[partition]++
-	return q.morsels[i], true
+	return q.morsels[i], false, true
 }
 
 // buildMorselQueue lists a scan's files, prunes those a zone-map index rules

@@ -163,6 +163,106 @@ func TestMorselQueueSplitsAndCounts(t *testing.T) {
 	}
 }
 
+// TestMorselFinalRecordNoTrailingNewline: a file whose last record has no
+// trailing newline, with MorselSize smaller than that final record, must
+// produce the record exactly once — the tail morsels that slice through it
+// find no line start past their base and own nothing.
+func TestMorselFinalRecordNoTrailingNewline(t *testing.T) {
+	head := ndSensorFile(6, 50)
+	tail := bytes.TrimRight(ndSensorFile(1, 3000), "\n") // ~3 KiB final record, no newline
+	data := append(append([]byte(nil), head...), tail...)
+	docs := map[string][]byte{"tailrec.json": data}
+	src := &runtime.MemSource{Collections: map[string]map[string][]byte{"/sensors": docs}}
+	want := referenceItems(t, docs, measurementsPath())
+	if len(want) != 7 {
+		t.Fatalf("reference = %d items, want 7", len(want))
+	}
+	for _, ms := range []int64{512, 1 << 10} {
+		for _, parts := range []int{1, 2, 4} {
+			env := func() *Env { return &Env{Source: src, MorselSize: ms} }
+			got := resultItems(runBoth(t, scanJob(parts, measurementsPath()), env))
+			if len(got) != len(want) {
+				t.Fatalf("morsel=%d parts=%d: %d items, want %d (final record dropped or duplicated)",
+					ms, parts, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("morsel=%d parts=%d: item %d differs", ms, parts, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMorselWhitespaceAfterNewlineBoundary: records separated by a newline
+// followed by indentation spaces. Ownership is decided by line start, not by
+// the record's first non-space byte, so a morsel boundary landing inside the
+// indentation must not drop the record.
+func TestMorselWhitespaceAfterNewlineBoundary(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, `{"root":[{"metadata":{"count":1},"results":[{"date":"2013-12-01T00:00","dataType":"TMIN","station":"W%04d","value":%d,"pad":%q}]}]}`,
+			i, i, strings.Repeat("y", 80))
+		sb.WriteString("\n      ") // indentation that can straddle a boundary
+	}
+	docs := map[string][]byte{"indent.json": []byte(sb.String())}
+	src := &runtime.MemSource{Collections: map[string]map[string][]byte{"/sensors": docs}}
+	want := referenceItems(t, docs, measurementsPath())
+	if len(want) != 40 {
+		t.Fatalf("reference = %d items, want 40", len(want))
+	}
+	for _, ms := range []int64{256, 512, 1 << 10} {
+		for _, parts := range []int{1, 3} {
+			env := func() *Env { return &Env{Source: src, MorselSize: ms} }
+			got := resultItems(runBoth(t, scanJob(parts, measurementsPath()), env))
+			if len(got) != len(want) {
+				t.Fatalf("morsel=%d parts=%d: %d items, want %d", ms, parts, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestStatsPerTaskMergeUnderRace pins the stats-merge discipline: every task
+// accumulates into its own runtime.Stats and the executor folds them together
+// exactly once after all workers have finished. Run with -race, a shared
+// counter mutated from 8 scan workers (plus exchange consumers) would be
+// reported; the totals check catches lost updates even without -race.
+func TestStatsPerTaskMergeUnderRace(t *testing.T) {
+	docs := map[string][]byte{}
+	for i := 0; i < 4; i++ {
+		docs[fmt.Sprintf("f%d.json", i)] = ndSensorFile(120, 60)
+	}
+	var wantBytes int64
+	for _, d := range docs {
+		wantBytes += int64(len(d))
+	}
+	src := &runtime.MemSource{Collections: map[string]map[string][]byte{"/sensors": docs}}
+	const workers = 8
+	for i := 0; i < 3; i++ {
+		res, err := RunPipelined(twoStepGroupByJob(workers, workers/2),
+			&Env{Source: src, MorselSize: 2 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.TuplesProduced != 480 {
+			t.Errorf("run %d: tuples produced = %d, want 480 (lost update?)",
+				i, res.Stats.TuplesProduced)
+		}
+		if res.Stats.BytesRead < wantBytes {
+			t.Errorf("run %d: bytes read = %d, want >= %d", i, res.Stats.BytesRead, wantBytes)
+		}
+		if res.Stats.FilesRead != int64(len(docs)) {
+			t.Errorf("run %d: files read = %d, want %d", i, res.Stats.FilesRead, len(docs))
+		}
+		if res.Stats.TuplesShuffled == 0 {
+			t.Errorf("run %d: no shuffled tuples through the hash exchange", i)
+		}
+		if len(res.Tasks) != workers+workers/2 {
+			t.Errorf("run %d: %d task times, want %d", i, len(res.Tasks), workers+workers/2)
+		}
+	}
+}
+
 func boolInt(b bool) int {
 	if b {
 		return 1
@@ -238,18 +338,21 @@ func TestMorselQueueStaticDealBounds(t *testing.T) {
 		{file: "a", start: 20, end: 30},
 	}
 	q := newMorselQueue(morsels, 2, false)
-	if _, ok := q.take(-1); ok {
+	if _, _, ok := q.take(-1); ok {
 		t.Error("negative partition must get nothing")
 	}
-	if _, ok := q.take(7); ok {
+	if _, _, ok := q.take(7); ok {
 		t.Error("out-of-range partition must get nothing")
 	}
 	got := map[int][]int64{}
 	for p := 0; p < 2; p++ {
 		for {
-			m, ok := q.take(p)
+			m, stolen, ok := q.take(p)
 			if !ok {
 				break
+			}
+			if stolen {
+				t.Errorf("static deal reported a steal for partition %d at %d", p, m.start)
 			}
 			got[p] = append(got[p], m.start)
 		}

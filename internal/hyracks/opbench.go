@@ -2,6 +2,7 @@ package hyracks
 
 import (
 	"fmt"
+	"time"
 
 	"vxq/internal/frame"
 	"vxq/internal/item"
@@ -46,6 +47,30 @@ func benchCtx(eager bool) *TaskCtx {
 	return &TaskCtx{RT: &runtime.Ctx{Stats: &runtime.Stats{}}, EagerDecode: eager}
 }
 
+// benchProf arms a harness context with a synthetic three-stage task profile
+// (source | op | sink), so a profiled pass carries exactly the per-boundary
+// wrappers the executors install. Used to measure profiling overhead.
+func benchProf(ctx *TaskCtx, name, kind string) {
+	ctx.prof = &taskProf{epoch: time.Now(), stages: []stageProf{
+		{name: "BENCH-SOURCE", kind: "source"},
+		{name: name, kind: kind},
+		{name: "RESULT", kind: "sink"},
+	}}
+}
+
+// benchWrap wraps the op writer (stage 1) and its sink (stage 2) with the
+// profiling boundary when the context is profiled; otherwise it builds the
+// bare chain.
+func benchWrap(ctx *TaskCtx, build func(out Writer) Writer, sink Writer) Writer {
+	if ctx.prof == nil {
+		return build(sink)
+	}
+	return &profWriter{
+		inner: build(&profWriter{inner: sink, t: ctx.prof, idx: 2}),
+		t:     ctx.prof, idx: 1,
+	}
+}
+
 // countSink counts tuples without decoding them.
 type countSink struct{ n int64 }
 
@@ -58,11 +83,15 @@ func (s *countSink) Close() error { return nil }
 
 // BenchGroupBy pushes the frames through one GROUP-BY operator into a
 // counting sink and returns the number of result groups. eager selects the
-// decoded reference implementation.
-func BenchGroupBy(spec *GroupBySpec, frames []*frame.Frame, eager bool) (int64, error) {
+// decoded reference implementation; profiled adds the profiling boundary
+// wrappers (for overhead measurement).
+func BenchGroupBy(spec *GroupBySpec, frames []*frame.Frame, eager, profiled bool) (int64, error) {
 	ctx := benchCtx(eager)
+	if profiled {
+		benchProf(ctx, spec.Name(), "group-by")
+	}
 	sink := &countSink{}
-	w := spec.Build(ctx, sink)
+	w := benchWrap(ctx, func(out Writer) Writer { return spec.Build(ctx, out) }, sink)
 	if err := w.Open(); err != nil {
 		return 0, err
 	}
@@ -87,8 +116,8 @@ func (d *countDest) send(fr *frame.Frame) error {
 
 // BenchHashShuffle routes the frames through a hash exchange onto parts
 // destinations and returns the number of tuples shipped. eager selects the
-// decoded routing path.
-func BenchHashShuffle(keys []runtime.Evaluator, parts int, frames []*frame.Frame, eager bool) (int64, error) {
+// decoded routing path; profiled adds the profiling boundary wrapper.
+func BenchHashShuffle(keys []runtime.Evaluator, parts int, frames []*frame.Frame, eager, profiled bool) (int64, error) {
 	ctx := benchCtx(eager)
 	dests := make([]frameDest, parts)
 	counts := make([]*countDest, parts)
@@ -97,7 +126,11 @@ func BenchHashShuffle(keys []runtime.Evaluator, parts int, frames []*frame.Frame
 		dests[i] = d
 		counts[i] = d
 	}
-	w := newExchangeWriter(ctx, &Exchange{Kind: ExchangeHash, Keys: keys, ConsumerPartitions: parts}, dests)
+	var w Writer = newExchangeWriter(ctx, &Exchange{Kind: ExchangeHash, Keys: keys, ConsumerPartitions: parts}, dests)
+	if profiled {
+		benchProf(ctx, "EXCHANGE bench[HASH]", "exchange")
+		w = &profWriter{inner: w, t: ctx.prof, idx: 1}
+	}
 	if err := w.Open(); err != nil {
 		return 0, err
 	}
@@ -121,8 +154,9 @@ func BenchHashShuffle(keys []runtime.Evaluator, parts int, frames []*frame.Frame
 
 // BenchHashJoin builds a hash join from the build frames, probes it with the
 // probe frames, and returns the number of joined tuples. eager selects the
-// decoded reference implementation.
-func BenchHashJoin(spec *JoinSpec, build, probe []*frame.Frame, eager bool) (int64, error) {
+// decoded reference implementation; profiled wraps the join's output path
+// (the boundary the executors instrument on a join fragment).
+func BenchHashJoin(spec *JoinSpec, build, probe []*frame.Frame, eager, profiled bool) (int64, error) {
 	ctx := benchCtx(eager)
 	j := newJoiner(ctx, spec)
 	defer j.release()
@@ -132,7 +166,12 @@ func BenchHashJoin(spec *JoinSpec, build, probe []*frame.Frame, eager bool) (int
 		}
 	}
 	sink := &countSink{}
-	b := newFrameBuilder(ctx, sink)
+	var out Writer = sink
+	if profiled {
+		benchProf(ctx, "HASH-JOIN bench", "join")
+		out = &profWriter{inner: out, t: ctx.prof, idx: 2}
+	}
+	b := newFrameBuilder(ctx, out)
 	for _, fr := range probe {
 		if err := j.probe(fr, b); err != nil {
 			return 0, err

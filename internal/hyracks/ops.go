@@ -477,6 +477,28 @@ type groupByOp struct {
 	keyScratch []item.Sequence
 
 	memory int64
+
+	// Profile counters (see profExtras).
+	memPeak    int64
+	collisions int64
+	arenaBytes int64
+}
+
+// hold charges sz bytes of retained state (released once at Close) and
+// tracks the held-memory high-water the profiler reports.
+func (o *groupByOp) hold(sz int64) {
+	o.memory += sz
+	if o.memory > o.memPeak {
+		o.memPeak = o.memory
+	}
+	o.ctx.accountHold(sz)
+}
+
+// profExtras implements opStatser.
+func (o *groupByOp) profExtras(x *opExtras) {
+	x.memPeak = o.memPeak
+	x.hashCollisions = o.collisions
+	x.arenaBytes = o.arenaBytes
 }
 
 func (o *groupByOp) Open() error {
@@ -523,13 +545,9 @@ func (o *groupByOp) Push(fr *frame.Frame) error {
 			}
 			o.etable[h] = g
 			o.eorder = append(o.eorder, g)
-			o.memory += sz
-			o.ctx.accountHold(sz) // charged until close; released in Close
+			o.hold(sz) // charged until close; released in Close
 		}
-		return stepStates(o.ctx, o.spec.Aggs, o.fastCols, g.states, lt, func(grew int64) {
-			o.memory += grew
-			o.ctx.accountHold(grew)
-		})
+		return stepStates(o.ctx, o.spec.Aggs, o.fastCols, g.states, lt, o.hold)
 	})
 }
 
@@ -542,6 +560,7 @@ func (o *groupByOp) elookup(h uint64, kf [][]byte) (*egroup, error) {
 		if ok {
 			return g, nil
 		}
+		o.collisions++ // a chain entry with this hash but a different key
 	}
 	return nil, nil
 }
@@ -581,8 +600,7 @@ func (o *groupByOp) pushEager(fr *frame.Frame) error {
 			for _, kf := range g.keyFields {
 				sz += int64(len(kf))
 			}
-			o.memory += sz
-			o.ctx.accountHold(sz) // charged until close; released in Close
+			o.hold(sz) // charged until close; released in Close
 		}
 		for i, a := range o.spec.Aggs {
 			v, err := a.Arg.Eval(o.ctx.RT, tup)
@@ -594,8 +612,7 @@ func (o *groupByOp) pushEager(fr *frame.Frame) error {
 				return err
 			}
 			if grew := g.states[i].Size() - before; grew > 0 {
-				o.memory += grew
-				o.ctx.accountHold(grew)
+				o.hold(grew)
 			}
 		}
 		return nil
@@ -614,11 +631,13 @@ func (o *groupByOp) lookup(h uint64, keySeqs []item.Sequence) *group {
 		if match {
 			return g
 		}
+		o.collisions++
 	}
 	return nil
 }
 
 func (o *groupByOp) Close() error {
+	o.arenaBytes = o.arena.reserved // snapshot before the deferred release
 	defer func() {
 		if o.ctx.RT != nil && o.ctx.RT.Accountant != nil {
 			o.ctx.RT.Accountant.Release(o.memory)
@@ -789,14 +808,28 @@ type sortRow struct {
 }
 
 type sortOp struct {
-	ctx    *TaskCtx
-	spec   *SortSpec
-	out    Writer
-	rows   []sortRow
-	memory int64
+	ctx     *TaskCtx
+	spec    *SortSpec
+	out     Writer
+	rows    []sortRow
+	memory  int64
+	memPeak int64
 }
 
 func (o *sortOp) Open() error { return o.out.Open() }
+
+// hold charges sz bytes of retained rows (released once at Close), tracking
+// the high-water for the profiler.
+func (o *sortOp) hold(sz int64) {
+	o.memory += sz
+	if o.memory > o.memPeak {
+		o.memPeak = o.memory
+	}
+	o.ctx.accountHold(sz)
+}
+
+// profExtras implements opStatser.
+func (o *sortOp) profExtras(x *opExtras) { x.memPeak = o.memPeak }
 
 func (o *sortOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
@@ -822,8 +855,7 @@ func (o *sortOp) Push(fr *frame.Frame) error {
 			sz += item.SizeBytesSeq(k)
 		}
 		o.rows = append(o.rows, sortRow{keys: keys, raw: stored})
-		o.memory += sz
-		o.ctx.accountHold(sz)
+		o.hold(sz)
 		return nil
 	})
 }

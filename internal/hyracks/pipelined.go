@@ -71,7 +71,6 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 		wg        sync.WaitGroup
 		res       = &Result{}
 	)
-	res.Stats.FilesSkipped = skipped
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
@@ -81,9 +80,25 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 		stopOnce.Do(func() { close(stop) })
 	}
 
+	totalTasks := 0
+	for _, f := range job.Fragments {
+		totalTasks += f.Partitions
+	}
+	// Per-task accumulation, merged once after every worker has finished:
+	// each task writes only its own pre-assigned slot (and its own
+	// runtime.Stats instance), so no counter is ever shared between workers.
+	taskStats := make([]*runtime.Stats, totalTasks)
+	taskTimes := make([]TaskTime, totalTasks)
+	var jp *jobProf
+	if env.Profile {
+		jp = &jobProf{epoch: time.Now()}
+	}
+
+	taskIdx := 0
 	for _, f := range job.Fragments {
 		for p := 0; p < f.Partitions; p++ {
-			f, p := f, p
+			f, p, idx := f, p, taskIdx
+			taskIdx++
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -96,6 +111,9 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 					Indexes:    env.Indexes,
 				}
 				ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, EagerDecode: env.EagerReference, Pool: pool, morsels: queues[f.ID]}
+				if jp != nil {
+					ctx.prof = newTaskProf(job, f, p, jp.epoch)
+				}
 				var terminal Writer
 				if f.SinkExchange >= 0 {
 					e := job.exchange(f.SinkExchange)
@@ -111,7 +129,7 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 				} else {
 					terminal = recycleSink{ctx: ctx, w: &lockedSink{sink: collector, mu: &colMu}}
 				}
-				chain := BuildChain(ctx, f.Ops, terminal)
+				chain := buildTaskChain(ctx, f, terminal)
 				in := sourceInput{recv: func(exchID int, each func(*frame.Frame) error) error {
 					ec, ok := chans[exchID]
 					if !ok {
@@ -134,12 +152,15 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 				start := time.Now()
 				err := runSource(ctx, f, chain, in)
 				elapsed := time.Since(start)
-				mu.Lock()
-				res.Tasks = append(res.Tasks, TaskTime{
-					Fragment: f.ID, Partition: p, Elapsed: elapsed, Morsels: ctx.MorselsScanned,
-				})
-				res.Stats.Add(rt.Stats)
-				mu.Unlock()
+				taskTimes[idx] = TaskTime{
+					Fragment: f.ID, Partition: p, Elapsed: elapsed,
+					Morsels: ctx.MorselsScanned, Steals: ctx.MorselsStolen,
+				}
+				taskStats[idx] = rt.Stats
+				if ctx.prof != nil {
+					ctx.prof.finish(ctx, start.Sub(jp.epoch).Nanoseconds(), elapsed.Nanoseconds())
+					jp.add(ctx.prof)
+				}
 				// A task torn down after another task's failure may surface
 				// errStopped wrapped with scan context (e.g. a file path);
 				// only genuine first failures are reported.
@@ -152,6 +173,16 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	res.Stats.FilesSkipped = skipped
+	for _, st := range taskStats {
+		if st != nil {
+			res.Stats.Add(st)
+		}
+	}
+	res.Tasks = taskTimes
+	if jp != nil {
+		res.Profile = jp.buildProfile(job, time.Since(jp.epoch).Nanoseconds())
 	}
 	res.Rows = collector.Rows
 	res.PeakMemory = acct.Peak()
@@ -186,6 +217,14 @@ func (p *producerCloser) Close() error {
 	err := p.Writer.Close()
 	p.once.Do(p.done)
 	return err
+}
+
+// profExtras forwards the profiler's counter query to the wrapped exchange
+// writer, which the embedded interface would otherwise hide.
+func (p *producerCloser) profExtras(x *opExtras) {
+	if os, ok := p.Writer.(opStatser); ok {
+		os.profExtras(x)
+	}
 }
 
 // lockedSink serializes concurrent pushes from multiple collector-partition

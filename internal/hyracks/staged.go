@@ -34,6 +34,10 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 	res := &Result{}
 	res.Stats.FilesSkipped = skipped
 	collector := &CollectSink{}
+	var jp *jobProf
+	if env.Profile {
+		jp = &jobProf{epoch: time.Now()}
+	}
 	for _, f := range job.Fragments {
 		for p := 0; p < f.Partitions; p++ {
 			rt := &runtime.Ctx{
@@ -45,6 +49,9 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 				Indexes:    env.Indexes,
 			}
 			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, EagerDecode: env.EagerReference, Pool: pool, morsels: queues[f.ID]}
+			if jp != nil {
+				ctx.prof = newTaskProf(job, f, p, jp.epoch)
+			}
 			var terminal Writer
 			if f.SinkExchange >= 0 {
 				e := job.exchange(f.SinkExchange)
@@ -56,7 +63,7 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 			} else {
 				terminal = recycleSink{ctx: ctx, w: collector}
 			}
-			chain := BuildChain(ctx, f.Ops, terminal)
+			chain := buildTaskChain(ctx, f, terminal)
 			in := sourceInput{recv: func(exchID int, each func(*frame.Frame) error) error {
 				for _, fr := range buffers[exchID][p] {
 					if err := each(fr); err != nil {
@@ -69,9 +76,14 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 			err := runSource(ctx, f, chain, in)
 			elapsed := time.Since(start)
 			res.Tasks = append(res.Tasks, TaskTime{
-				Fragment: f.ID, Partition: p, Elapsed: elapsed, Morsels: ctx.MorselsScanned,
+				Fragment: f.ID, Partition: p, Elapsed: elapsed,
+				Morsels: ctx.MorselsScanned, Steals: ctx.MorselsStolen,
 			})
 			res.Stats.Add(rt.Stats)
+			if ctx.prof != nil {
+				ctx.prof.finish(ctx, start.Sub(jp.epoch).Nanoseconds(), elapsed.Nanoseconds())
+				jp.add(ctx.prof)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -85,6 +97,9 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 			delete(buffers, s.Build)
 			delete(buffers, s.Probe)
 		}
+	}
+	if jp != nil {
+		res.Profile = jp.buildProfile(job, time.Since(jp.epoch).Nanoseconds())
 	}
 	res.Rows = collector.Rows
 	res.PeakMemory = acct.Peak()

@@ -50,6 +50,13 @@ type TaskCtx struct {
 	morsels *morselQueue
 	// MorselsScanned counts the morsels this task processed.
 	MorselsScanned int
+	// MorselsStolen counts how many of those morsels were steals: taken off
+	// another partition's static round-robin share by the shared cursor.
+	MorselsStolen int
+	// prof is this task's profile accumulator (nil unless Env.Profile).
+	// It is owned by the task's goroutine alone — per-worker collection with
+	// no shared-mutable state; the executor merges finished tasks at job end.
+	prof *taskProf
 }
 
 func (c *TaskCtx) frameSize() int {

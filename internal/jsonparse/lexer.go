@@ -100,6 +100,14 @@ type Lexer struct {
 	base int64     // absolute file offset of buf[0]
 	eof  bool      // no bytes exist beyond buf[:end]
 
+	// lineStart is the absolute offset just past the most recent '\n' the
+	// lexer consumed as inter-token whitespace (or the stream's starting
+	// offset if none yet). For newline-delimited records — where newlines
+	// only ever appear between top-level values — it is the starting offset
+	// of the line the cursor is on, which is the anchor of the morsel
+	// ownership rule (see ScanValues and LineStart).
+	lineStart int64
+
 	// scratch accumulates the bytes of a token that spans refills (or
 	// contains escapes); it is reused across tokens.
 	scratch []byte
@@ -151,7 +159,7 @@ func NewStreamLexerAt(r io.Reader, chunkSize int, base int64) *Lexer {
 	if chunkSize < minChunkSize {
 		chunkSize = minChunkSize
 	}
-	return &Lexer{r: r, buf: make([]byte, chunkSize), base: base}
+	return &Lexer{r: r, buf: make([]byte, chunkSize), base: base, lineStart: base}
 }
 
 // ResetStream rebinds a streaming lexer to a new reader whose first byte
@@ -169,6 +177,7 @@ func (l *Lexer) ResetStream(r io.Reader, base int64) {
 	l.r = r
 	l.pos, l.end = 0, 0
 	l.base = base
+	l.lineStart = base
 	l.eof = false
 	l.Kind, l.str, l.numRaw = TokEOF, nil, nil
 }
@@ -218,6 +227,7 @@ func (l *Lexer) SkipPastNewline() (bool, error) {
 		for l.pos < l.end {
 			if l.buf[l.pos] == '\n' {
 				l.pos++
+				l.lineStart = l.base + int64(l.pos)
 				return true, nil
 			}
 			l.pos++
@@ -244,6 +254,17 @@ func (l *Lexer) AtEOF() (bool, error) {
 // (file offset, not an index into the current chunk), useful for error
 // messages.
 func (l *Lexer) Offset() int { return int(l.base) + l.pos }
+
+// LineStart reports the absolute offset just past the most recent '\n' the
+// lexer consumed as inter-token whitespace (SkipPastNewline counts too), or
+// the stream's starting offset if it has consumed none. With the
+// newline-delimited-records contract (newlines appear only between top-level
+// values, never inside one), calling it when the cursor sits at the start of
+// a record yields the offset where that record's line begins — the anchor of
+// the morsel ownership rule. Newlines inside a value that SkipValueRaw scans
+// over are not tracked; such input violates the contract and is rejected
+// loudly by misaligned morsel scans rather than silently misattributed.
+func (l *Lexer) LineStart() int64 { return l.lineStart }
 
 func (l *Lexer) errf(format string, args ...any) error {
 	return l.errfAt(int64(l.Offset()), format, args...)
@@ -307,7 +328,10 @@ func (l *Lexer) skipSpace() error {
 	for {
 		for l.pos < l.end {
 			switch l.buf[l.pos] {
-			case ' ', '\t', '\n', '\r':
+			case '\n':
+				l.pos++
+				l.lineStart = l.base + int64(l.pos)
+			case ' ', '\t', '\r':
 				l.pos++
 			default:
 				return nil
@@ -561,10 +585,13 @@ func (l *Lexer) NumValue() (float64, error) {
 		for ; i < len(text); i++ {
 			v = v*10 + int64(text[i]-'0')
 		}
+		// Negate in the float domain: int64 has no signed zero, so "-0"
+		// negated as an integer would lose its sign bit (strconv yields -0.0).
+		f := float64(v)
 		if neg {
-			v = -v
+			f = -f
 		}
-		return float64(v), nil
+		return f, nil
 	}
 	// Fast decimal path: [-]digits.digits with <= 15 significant digits and
 	// a fraction short enough that its power-of-ten divisor is exact.

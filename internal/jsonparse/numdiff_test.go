@@ -1,0 +1,148 @@
+package jsonparse
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"vxq/internal/item"
+)
+
+// numDiffCorpus collects the number forms where a lexer fast path could
+// plausibly diverge from strconv: signed zero, tiny decimals whose
+// power-of-ten divisor stresses the pow10 table, integers past float64's
+// exact range (2^53), 16+ digit mantissas that must NOT take the <=15-digit
+// fast path, and boundary widths on either side of every guard.
+var numDiffCorpus = []string{
+	// Signed zero in every spelling.
+	"0", "-0", "0.0", "-0.0", "-0.000", "0e0", "-0e0", "-0.0e0", "-0E-7",
+	// Small integers and the 15-digit fast-path ceiling.
+	"1", "-1", "42", "999999999999999", "-99999999999999", "-999999999999999",
+	// 16 digits: one past the integer fast path; still exact or needing rounding.
+	"1000000000000000", "9999999999999999", "-9999999999999999",
+	// 2^53 neighborhood: 9007199254740993 is the first integer float64 cannot
+	// represent; rounding direction must match strconv exactly.
+	"9007199254740992", "9007199254740993", "-9007199254740993",
+	"9007199254740995", "18014398509481989",
+	// Long mantissas (17-19 digits) where naive accumulation drifts.
+	"12345678901234567", "123456789012345678", "1234567890123456789",
+	"-1234567890123456789", "1.2345678901234567", "0.12345678901234567890",
+	// Tiny decimals: every fraction width across the pow10 table and past it.
+	"1e-7", "0.0000001", "0.1", "0.2", "0.3", "-0.1",
+	"0.000000000000001", "0.0000000000000001", "3.0000000000000004",
+	"0.1000000000000000055511151231257827", // decimal midpoint of 0.1
+	// Fraction widths at the pow10 boundary (22 exact powers) and beyond.
+	"0.0000000000000000000001", "0.00000000000000000000001",
+	"1.0000000000000000000001", "4.4501477170144023e-308",
+	// Exponent forms, mixed case and signs.
+	"1e7", "1E7", "1e+7", "2.5e-3", "-2.5E+3", "1e22", "1e23", "-1e22",
+	// Values that round to the same float from different spellings.
+	"0.3000000000000000444089209850062616169452667236328125",
+	"2.2250738585072011e-308", // the famous PHP/Java hang value
+	"2.2250738585072014e-308", // smallest normal
+	"5e-324",                  // smallest denormal
+	"1.7976931348623157e308",  // largest finite
+	// Decimal points with long zero runs on either side.
+	"100000000000000.1", "0.00000000000000000000000000001",
+	"123456.789", "-123456.789e2", "7.5", "-7.5",
+}
+
+// lexNumber tokenizes src (a bare JSON number) through the streaming lexer at
+// several chunk sizes and returns the NumValue results.
+func lexNumber(t *testing.T, src string) []float64 {
+	t.Helper()
+	var out []float64
+	for _, chunk := range streamChunkSizes {
+		it, err := parseStream("["+src+"]", chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: lex %q: %v", chunk, src, err)
+		}
+		arr, ok := it.(item.Array)
+		if !ok || len(arr) != 1 {
+			t.Fatalf("chunk %d: %q parsed to %s", chunk, src, item.JSON(it))
+		}
+		out = append(out, float64(arr[0].(item.Number)))
+	}
+	return out
+}
+
+// TestNumValueMatchesStrconv is the differential oracle for the number fast
+// paths: every corpus value must convert bit-identically to strconv (and so
+// to encoding/json) at every refill granularity. Bit comparison, not ==,
+// so -0.0 vs 0.0 counts as a divergence.
+func TestNumValueMatchesStrconv(t *testing.T) {
+	for _, src := range numDiffCorpus {
+		want, err := strconv.ParseFloat(src, 64)
+		if err != nil {
+			t.Fatalf("corpus value %q does not parse: %v", src, err)
+		}
+		var jsWant float64
+		if err := json.Unmarshal([]byte(src), &jsWant); err != nil {
+			t.Fatalf("corpus value %q rejected by encoding/json: %v", src, err)
+		}
+		if math.Float64bits(want) != math.Float64bits(jsWant) {
+			t.Fatalf("oracle disagreement on %q: strconv %x, encoding/json %x",
+				src, math.Float64bits(want), math.Float64bits(jsWant))
+		}
+		for i, got := range lexNumber(t, src) {
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("chunk %d: NumValue(%q) = %v (%x), strconv gives %v (%x)",
+					streamChunkSizes[i], src, got, math.Float64bits(got),
+					want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestNumValueSignedZeroPreserved pins the -0 regression specifically: the
+// integer fast path must not negate in the int64 domain, where the zero's
+// sign bit does not exist.
+func TestNumValueSignedZeroPreserved(t *testing.T) {
+	for _, src := range []string{"-0", "-0.0", "-0.000", "-0e0", "-0E-7"} {
+		for i, got := range lexNumber(t, src) {
+			if !math.Signbit(got) {
+				t.Errorf("chunk %d: NumValue(%q) = %v lost the sign bit", streamChunkSizes[i], src, got)
+			}
+			if got != 0 {
+				t.Errorf("chunk %d: NumValue(%q) = %v, want -0.0", streamChunkSizes[i], src, got)
+			}
+		}
+	}
+}
+
+// TestNumValueFastPathGuardExact proves the digit-count guard: for every
+// value the fast paths accept (<=15-digit mantissa, fraction within the
+// exact pow10 range), the computed float must be bit-identical to strconv's
+// correctly rounded answer. Driven by quick.Check over random mantissas and
+// fraction widths so the property is not limited to the hand-picked corpus.
+func TestNumValueFastPathGuardExact(t *testing.T) {
+	check := func(mant uint64, fracWidth uint8, neg bool) bool {
+		m := mant % 1e15 // at most 15 digits: the fast-path domain
+		w := int(fracWidth % 16)
+		src := strconv.FormatUint(m, 10)
+		if w > 0 {
+			for len(src) <= w {
+				src = "0" + src
+			}
+			src = src[:len(src)-w] + "." + src[len(src)-w:]
+		}
+		if neg {
+			src = "-" + src
+		}
+		want, err := strconv.ParseFloat(src, 64)
+		if err != nil {
+			return false
+		}
+		it, err := parseStream("["+src+"]", 64)
+		if err != nil {
+			return false
+		}
+		got := float64(it.(item.Array)[0].(item.Number))
+		return math.Float64bits(got) == math.Float64bits(want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

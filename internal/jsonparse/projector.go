@@ -217,11 +217,16 @@ func ProjectReader(r io.Reader, chunkSize int, path Path, emit func(item.Item) e
 // ScanValues processes a concatenated stream of top-level JSON values (the
 // generalization of a single-document file: NDJSON, newline-separated
 // records, or one whole document), applying path to each value and emitting
-// the projected items. Only values whose first byte lies at an absolute
-// offset < limit are processed (limit < 0 means unbounded); the value
-// straddling the limit is parsed to completion, which is exactly the morsel
-// ownership rule — a record belongs to the byte range its first byte falls
-// in. It returns the number of top-level values processed.
+// the projected items. Only values whose line starts at an absolute offset
+// < limit are processed (limit < 0 means unbounded); a value is parsed to
+// completion even when it extends past the limit. This is exactly the morsel
+// ownership rule: a record belongs to the byte range its line start falls
+// in, where the line start is the offset just past the last '\n' before the
+// record (LineStart). Anchoring ownership at the newline — not at the
+// record's first non-whitespace byte — keeps the producer's cut-off
+// consistent with the consumer's SkipPastNewline alignment, so a record
+// preceded by post-newline whitespace that straddles a boundary is emitted
+// exactly once. It returns the number of top-level values processed.
 func ScanValues(l *Lexer, path Path, limit int64, emit func(item.Item) error) (int, error) {
 	n := 0
 	for {
@@ -232,7 +237,7 @@ func ScanValues(l *Lexer, path Path, limit int64, emit func(item.Item) error) (i
 		if done {
 			return n, nil
 		}
-		if limit >= 0 && int64(l.Offset()) >= limit {
+		if limit >= 0 && l.LineStart() >= limit {
 			return n, nil
 		}
 		if err := l.Next(); err != nil {

@@ -197,6 +197,13 @@ func (s *MemSource) lookup(path string) ([]byte, bool) {
 func (s *MemSource) ReadFile(path string) ([]byte, error) { return ReadAll(s, path) }
 
 // Stats accumulates per-partition execution statistics.
+//
+// Concurrency contract: a Stats instance has exactly one writer. Each task
+// (fragment-partition) increments its own instance while it runs, and the
+// executor folds the per-task instances into the job total with Add exactly
+// once, after every task has finished. Counters are plain int64s on purpose —
+// no atomics, no locks — so sharing an instance between running tasks is a
+// data race (caught by the -race executor tests).
 type Stats struct {
 	BytesRead      int64
 	FilesRead      int64
