@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/hyracks ./internal/frame ./internal/cluster ./internal/jsonparse
+	$(GO) test -race ./internal/hyracks ./internal/frame ./internal/cluster ./internal/jsonparse ./internal/index
 
 fmt:
 	gofmt -l .
@@ -57,8 +57,11 @@ profile-smoke:
 		>/dev/null
 	test -s /tmp/vxq-profile-smoke/trace.json
 
-# fuzz-smoke runs the raw-skip differential fuzzer briefly: the structural
-# skip, the token-level reference, and encoding/json must keep agreeing on
-# value extents and verdicts. Seeds under testdata/fuzz are always replayed.
+# fuzz-smoke runs the structural-kernel fuzzers briefly: the three-way skip
+# differential (structural-index skip, byte-class skip, token-level reference,
+# cross-checked against encoding/json) and the record-boundary scanner against
+# its scalar reference, over the chunk-size sweep. Seeds under testdata/fuzz
+# are always replayed.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRawSkipDifferential -fuzztime=10s ./internal/jsonparse
+	$(GO) test -run='^$$' -fuzz=FuzzBoundaryScanner -fuzztime=10s ./internal/jsonparse

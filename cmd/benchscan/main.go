@@ -148,24 +148,29 @@ func maxScanTask(res *hyracks.Result) float64 {
 	return max.Seconds()
 }
 
-// parseShapeReport pairs the kernel and reference measurements of one shape
-// with the resulting speedup.
+// parseShapeReport holds the three skip-mode measurements of one shape —
+// the SWAR structural-index kernel, the byte-class scan and the token-level
+// reference — with the resulting speedups (reference seconds over the mode's
+// seconds).
 type parseShapeReport struct {
-	Kernel    bench.ParseBenchResult `json:"kernel"`
-	Reference bench.ParseBenchResult `json:"reference"`
-	Speedup   float64                `json:"speedup"`
+	Index        bench.ParseBenchResult `json:"index"`
+	Bytes        bench.ParseBenchResult `json:"bytes"`
+	Reference    bench.ParseBenchResult `json:"reference"`
+	Speedup      float64                `json:"speedup"`       // reference / index
+	SpeedupBytes float64                `json:"speedup_bytes"` // reference / bytes
 }
 
 type parseReport struct {
-	RecordBytes int64                       `json:"record_bytes"`
-	Records     int64                       `json:"records"`
-	TotalBytes  int64                       `json:"total_bytes"`
-	Shapes      map[string]parseShapeReport `json:"shapes"`
+	RecordBytes   int64                       `json:"record_bytes"`
+	Records       int64                       `json:"records"`
+	TotalBytes    int64                       `json:"total_bytes"`
+	BitmapBuilder bench.BitmapBuilderResult   `json:"bitmap_builder"`
+	Shapes        map[string]parseShapeReport `json:"shapes"`
 }
 
-// runParseBench measures the on-demand kernel against the token-level
-// reference on both acceptance shapes and writes the BENCH_parse.json
-// artifact.
+// runParseBench measures the three skip modes on both acceptance shapes,
+// plus the standalone phase-1 bitmap builder, and writes the
+// BENCH_parse.json artifact.
 func runParseBench(out string, minDur time.Duration) error {
 	data, records := bench.ParseBenchStream(4 << 20)
 	rep := parseReport{
@@ -175,7 +180,11 @@ func runParseBench(out string, minDur time.Duration) error {
 		Shapes:      map[string]parseShapeReport{},
 	}
 	for _, shape := range []string{"project1", "skiprecord"} {
-		kernel, err := bench.MeasureParseBench(shape, "kernel", data, records, minDur)
+		idx, err := bench.MeasureParseBench(shape, "index", data, records, minDur)
+		if err != nil {
+			return err
+		}
+		byt, err := bench.MeasureParseBench(shape, "bytes", data, records, minDur)
 		if err != nil {
 			return err
 		}
@@ -184,13 +193,18 @@ func runParseBench(out string, minDur time.Duration) error {
 			return err
 		}
 		rep.Shapes[shape] = parseShapeReport{
-			Kernel:    kernel,
-			Reference: ref,
-			Speedup:   ref.Seconds / kernel.Seconds,
+			Index:        idx,
+			Bytes:        byt,
+			Reference:    ref,
+			Speedup:      ref.Seconds / idx.Seconds,
+			SpeedupBytes: ref.Seconds / byt.Seconds,
 		}
-		fmt.Printf("%s: kernel %.0f MB/s (%.4f allocs/record), reference %.0f MB/s, speedup %.2fx\n",
-			shape, kernel.MBPerSec, kernel.AllocsPerRecord, ref.MBPerSec, rep.Shapes[shape].Speedup)
+		fmt.Printf("%s: index %.0f MB/s (%.4f allocs/record), bytes %.0f MB/s, reference %.0f MB/s, speedup %.2fx\n",
+			shape, idx.MBPerSec, idx.AllocsPerRecord, byt.MBPerSec, ref.MBPerSec, rep.Shapes[shape].Speedup)
 	}
+	rep.BitmapBuilder = bench.MeasureBitmapBuilder(data, minDur)
+	fmt.Printf("bitmap builder: %.2f GB/s, %.4f allocs/chunk\n",
+		rep.BitmapBuilder.GBPerSec, rep.BitmapBuilder.AllocsPerChunk)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -68,12 +68,30 @@ func ParseBenchPath(shape string) (jsonparse.Path, error) {
 	}
 }
 
-// ScanParseBench runs one pass of the shape's projected scan over data,
-// returning the number of emitted items. reference selects the token-level
-// skip instead of the raw structural skip.
-func ScanParseBench(data []byte, path jsonparse.Path, reference bool) (int, error) {
+// ParseBenchMode resolves a benchmark mode name to the lexer's skip mode:
+// "index" is the SWAR structural-index kernel, "bytes" the byte-class scan,
+// "reference" the token-level oracle, and "kernel" the automatic production
+// choice (the structural index for in-memory buffers).
+func ParseBenchMode(mode string) (jsonparse.SkipMode, error) {
+	switch mode {
+	case "kernel":
+		return jsonparse.SkipAuto, nil
+	case "index":
+		return jsonparse.SkipIndexed, nil
+	case "bytes":
+		return jsonparse.SkipRawBytes, nil
+	case "reference":
+		return jsonparse.SkipTokens, nil
+	default:
+		return 0, fmt.Errorf("unknown parse bench mode %q", mode)
+	}
+}
+
+// ScanParseBench runs one pass of the shape's projected scan over data in the
+// given skip mode, returning the number of emitted items.
+func ScanParseBench(data []byte, path jsonparse.Path, mode jsonparse.SkipMode) (int, error) {
 	l := jsonparse.NewLexer(data)
-	l.SetReferenceSkip(reference)
+	l.SetSkipMode(mode)
 	emitted := 0
 	_, err := jsonparse.ScanValues(l, path, -1, func(item.Item) error {
 		emitted++
@@ -86,7 +104,7 @@ func ScanParseBench(data []byte, path jsonparse.Path, reference bool) (int, erro
 // benchmark, serialized into BENCH_parse.json.
 type ParseBenchResult struct {
 	Shape           string  `json:"shape"`
-	Mode            string  `json:"mode"` // "kernel" (raw-skip) or "reference" (token-skip)
+	Mode            string  `json:"mode"` // "index", "bytes", "reference" or "kernel" (auto)
 	Records         int64   `json:"records"`
 	Bytes           int64   `json:"bytes"`
 	Seconds         float64 `json:"seconds"`
@@ -104,10 +122,13 @@ func MeasureParseBench(shape, mode string, data []byte, records int, minDuration
 	if err != nil {
 		return ParseBenchResult{}, err
 	}
-	reference := mode == "reference"
+	skip, err := ParseBenchMode(mode)
+	if err != nil {
+		return ParseBenchResult{}, err
+	}
 	// Warm-up pass (page in the buffer, build the intern table's steady state
 	// equivalent — each pass uses a fresh lexer, like a fresh morsel).
-	if _, err := ScanParseBench(data, path, reference); err != nil {
+	if _, err := ScanParseBench(data, path, skip); err != nil {
 		return ParseBenchResult{}, err
 	}
 	var (
@@ -120,7 +141,7 @@ func MeasureParseBench(shape, mode string, data []byte, records int, minDuration
 	goruntime.ReadMemStats(&m0)
 	for {
 		start := time.Now()
-		e, err := ScanParseBench(data, path, reference)
+		e, err := ScanParseBench(data, path, skip)
 		sec := time.Since(start).Seconds()
 		if err != nil {
 			return ParseBenchResult{}, err
@@ -138,7 +159,7 @@ func MeasureParseBench(shape, mode string, data []byte, records int, minDuration
 	totalRecords := passes * int64(records)
 	return ParseBenchResult{
 		Shape:           shape,
-		Mode:            modeName(reference),
+		Mode:            mode,
 		Records:         int64(records),
 		Bytes:           int64(len(data)),
 		Seconds:         best,
@@ -149,9 +170,65 @@ func MeasureParseBench(shape, mode string, data []byte, records int, minDuration
 	}, nil
 }
 
-func modeName(reference bool) string {
-	if reference {
-		return "reference"
+// BitmapBuilderResult is the standalone phase-1 measurement: IndexBlock run
+// over every 64-byte block of the workload with carried state, no phase-2
+// consumer at all — the raw ceiling of the structural-index pass.
+type BitmapBuilderResult struct {
+	Bytes          int64   `json:"bytes"`
+	Seconds        float64 `json:"seconds"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+	GBPerSec       float64 `json:"gb_per_sec"`
+	AllocsPerChunk float64 `json:"allocs_per_chunk"` // per 4 KiB chunk of input
+}
+
+// MeasureBitmapBuilder times repeated full-buffer passes of the phase-1
+// bitmap builder until minDuration has elapsed, reporting best-pass
+// throughput and allocations per 4 KiB chunk (the streaming refill unit —
+// the kernel itself must not allocate at all).
+func MeasureBitmapBuilder(data []byte, minDuration time.Duration) BitmapBuilderResult {
+	blocks := len(data) / 64
+	data = data[:blocks*64]
+	var sink uint64
+	pass := func() {
+		var st jsonparse.StructState
+		for off := 0; off < len(data); off += 64 {
+			m := jsonparse.IndexBlock(data[off:off+64], &st)
+			sink ^= m.Structural ^ m.InString ^ m.Newline
+		}
 	}
-	return "kernel"
+	pass() // warm-up
+	var (
+		passes   int64
+		best     float64
+		m0, m1   goruntime.MemStats
+		deadline = time.Now().Add(minDuration)
+	)
+	goruntime.ReadMemStats(&m0)
+	for {
+		start := time.Now()
+		pass()
+		sec := time.Since(start).Seconds()
+		passes++
+		if best == 0 || sec < best {
+			best = sec
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	goruntime.ReadMemStats(&m1)
+	if sink == 0xdeadbeef {
+		fmt.Println(sink) // defeat dead-code elimination; never taken in practice
+	}
+	chunks := passes * int64(len(data)) / 4096
+	res := BitmapBuilderResult{
+		Bytes:   int64(len(data)),
+		Seconds: best,
+	}
+	res.MBPerSec = float64(len(data)) / (1 << 20) / best
+	res.GBPerSec = float64(len(data)) / (1 << 30) / best
+	if chunks > 0 {
+		res.AllocsPerChunk = float64(m1.Mallocs-m0.Mallocs) / float64(chunks)
+	}
+	return res
 }

@@ -454,13 +454,19 @@ func scanMorsel(ctx *TaskCtx, sc *scanState, s ScanSource, m morsel) error {
 		err  error
 	)
 	if m.start > 0 {
-		// Open one byte early: if the byte at start-1 is the separating
-		// newline, the first record of this morsel starts exactly at start.
 		ro, ok := src.(runtime.RangeOpener)
 		if !ok {
 			return fmt.Errorf("source cannot open byte ranges")
 		}
-		base = m.start - 1
+		if m.aligned {
+			// The split index guarantees start is a record start: open there
+			// directly, nothing to re-align.
+			base = m.start
+		} else {
+			// Open one byte early: if the byte at start-1 is the separating
+			// newline, the first record of this morsel starts exactly at start.
+			base = m.start - 1
+		}
 		rc, err = ro.OpenRange(m.file, base)
 	} else {
 		rc, err = src.Open(m.file)
@@ -491,9 +497,10 @@ func scanMorsel(ctx *TaskCtx, sc *scanState, s ScanSource, m morsel) error {
 }
 
 func scanMorselRecords(sc *scanState, s ScanSource, m morsel) error {
-	if !m.first {
+	if !m.first && !m.aligned {
 		// Align to the first record boundary at or after m.start: skip past
 		// the next newline. No newline left means no record starts here.
+		// (Aligned morsels were opened exactly at a known record start.)
 		ok, err := sc.lx.SkipPastNewline()
 		if err != nil || !ok {
 			return err

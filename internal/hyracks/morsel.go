@@ -2,6 +2,7 @@ package hyracks
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"vxq/internal/runtime"
@@ -29,6 +30,12 @@ type morsel struct {
 	start int64
 	end   int64 // exclusive ownership limit; -1 = the whole rest of the file
 	first bool  // first morsel of its file (no alignment skip, counts FilesRead)
+	// aligned marks a morsel whose start is a known record start (from a
+	// zone-map split index), so the consumer opens at start directly and
+	// skips the probe-byte + SkipPastNewline re-alignment. Ownership is
+	// unchanged: an aligned start is its own line start, so [start, end)
+	// still bounds exactly the records whose line starts fall inside it.
+	aligned bool
 }
 
 // wholeFile reports whether the morsel covers its file entirely.
@@ -129,12 +136,20 @@ func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
 		if s.Format == FormatJSON && canRange && canSize {
 			size, err := sz.Size(file)
 			if err == nil && size > morselSize {
-				for off := int64(0); off < size; off += morselSize {
-					end := off + morselSize
-					if end > size {
-						end = size
+				var splits []int64
+				if sl, ok := idx.(runtime.SplitLookup); ok {
+					splits, _ = sl.FileSplits(s.Collection, file)
+				}
+				if len(splits) > 0 {
+					morsels = appendAlignedMorsels(morsels, file, size, morselSize, splits)
+				} else {
+					for off := int64(0); off < size; off += morselSize {
+						end := off + morselSize
+						if end > size {
+							end = size
+						}
+						morsels = append(morsels, morsel{file: file, start: off, end: end, first: off == 0})
 					}
-					morsels = append(morsels, morsel{file: file, start: off, end: end, first: off == 0})
 				}
 				split = true
 			}
@@ -144,4 +159,34 @@ func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
 		}
 	}
 	return newMorselQueue(morsels, partitions, shared), skipped, nil
+}
+
+// appendAlignedMorsels cuts one file on known record starts: each nominal cut
+// (the multiples of morselSize) snaps forward to the first recorded split at
+// or after it. Snapping never moves a cut backward, so morsels can run over
+// morselSize by up to one record plus the split-sampling grain, and a nominal
+// cut with no split before the file end simply merges the tail into the last
+// morsel. Every non-first morsel starts exactly on a record start and is
+// marked aligned: the consumer opens it at start directly, with no probe byte
+// and no newline re-alignment. Ownership is identical to the probing path —
+// the split offsets are precisely the line starts the probe would find — so
+// exactly-once delivery is preserved record for record.
+func appendAlignedMorsels(morsels []morsel, file string, size, morselSize int64, splits []int64) []morsel {
+	prev := int64(0)
+	for target := morselSize; target < size; target += morselSize {
+		i := sort.Search(len(splits), func(i int) bool { return splits[i] >= target })
+		if i == len(splits) {
+			break
+		}
+		b := splits[i]
+		if b <= prev {
+			continue
+		}
+		if b >= size {
+			break
+		}
+		morsels = append(morsels, morsel{file: file, start: prev, end: b, first: prev == 0, aligned: prev != 0})
+		prev = b
+	}
+	return append(morsels, morsel{file: file, start: prev, end: size, first: prev == 0, aligned: prev != 0})
 }

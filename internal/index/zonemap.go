@@ -16,12 +16,20 @@ package index
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"vxq/internal/item"
 	"vxq/internal/jsonparse"
 	"vxq/internal/runtime"
 )
+
+// DefaultSplitGrain is the record-boundary sampling granularity of a zone-map
+// build: one record-start offset is kept per this many bytes of file, which
+// bounds split-index memory at size/grain offsets per file while still
+// letting morsel splitting (whose granularity is megabytes) cut exactly on
+// record starts.
+const DefaultSplitGrain int64 = 4 << 10
 
 // FileStats is the zone-map entry of one file.
 type FileStats struct {
@@ -37,11 +45,20 @@ type ZoneMap struct {
 	Collection string
 	Path       jsonparse.Path
 	Files      map[string]FileStats
+
+	// Splits holds, per file, ascending record-start offsets sampled at
+	// DefaultSplitGrain by the structural-index boundary scanner — a free
+	// byproduct of the build's streaming pass (the scan bytes are teed
+	// through the scanner). Morsel splitting aligns byte ranges to them.
+	Splits map[string][]int64
 }
 
 // Build scans every file of the collection once and records the per-file
-// min/max of the items the path yields. Non-scalar items (objects, arrays)
-// are rejected: zone maps index scalar paths.
+// min/max of the items the path yields. Files are read with the same record
+// model DATASCAN uses — a concatenated stream of top-level values (NDJSON,
+// newline-separated records, or one whole document) — so the map covers
+// exactly the records a scan of the file would emit. Non-scalar items
+// (objects, arrays) are rejected: zone maps index scalar paths.
 func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap, error) {
 	files, err := src.Files(collection)
 	if err != nil {
@@ -51,6 +68,7 @@ func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap
 		Collection: collection,
 		Path:       append(jsonparse.Path(nil), path...),
 		Files:      make(map[string]FileStats, len(files)),
+		Splits:     make(map[string][]int64, len(files)),
 	}
 	for _, f := range files {
 		rc, err := src.Open(f)
@@ -58,7 +76,10 @@ func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap
 			return nil, fmt.Errorf("index: %s: %w", f, err)
 		}
 		var st FileStats
-		err = jsonparse.ProjectReader(rc, jsonparse.DefaultChunkSize, path, func(it item.Item) error {
+		bs := jsonparse.NewBoundaryScanner(DefaultSplitGrain)
+		tee := io.TeeReader(rc, bs)
+		lx := jsonparse.NewStreamLexerAt(tee, jsonparse.DefaultChunkSize, 0)
+		_, err = jsonparse.ScanValues(lx, path, -1, func(it item.Item) error {
 			switch it.Kind() {
 			case item.KindObject, item.KindArray:
 				return fmt.Errorf("path %s yields a %s; zone maps index scalar paths",
@@ -83,7 +104,11 @@ func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap
 		if err != nil {
 			return nil, fmt.Errorf("index: %s: %w", f, err)
 		}
+		bs.Close()
 		zm.Files[f] = st
+		if sp := bs.Splits(); len(sp) > 0 {
+			zm.Splits[f] = sp
+		}
 	}
 	return zm, nil
 }
@@ -123,6 +148,24 @@ func (r *Registry) FileRange(collection string, path jsonparse.Path, file string
 		return runtime.FileRange{}, false
 	}
 	return runtime.FileRange{Min: st.Min, Max: st.Max, Count: st.Count}, true
+}
+
+// FileSplits implements runtime.SplitLookup: it reports the sampled
+// record-start offsets of one file if any registered zone map of the
+// collection carries them. Splits are a property of the file bytes, not of
+// the indexed path, so any map of the collection serves.
+func (r *Registry) FileSplits(collection, file string) ([]int64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, zm := range r.maps {
+		if zm.Collection != collection {
+			continue
+		}
+		if sp, ok := zm.Splits[file]; ok && len(sp) > 0 {
+			return sp, true
+		}
+	}
+	return nil, false
 }
 
 // Len reports the number of registered zone maps.

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"fmt"
 	"testing"
 
 	"vxq/internal/gen"
@@ -125,5 +126,66 @@ func TestParsePath(t *testing.T) {
 	// Round trip.
 	if rt, err := jsonparse.ParsePath(datePath().String()); err != nil || !rt.Equal(datePath()) {
 		t.Errorf("round trip failed: %v %v", rt, err)
+	}
+}
+
+// TestBuildNDJSONWithSplits: zone maps share DATASCAN's record model — a
+// file may be a stream of newline-delimited documents — and the build's
+// structural-index pass records record-start offsets as a byproduct. Every
+// recorded split must be the byte just past an out-of-string newline,
+// ascending, one per DefaultSplitGrain window at most.
+func TestBuildNDJSONWithSplits(t *testing.T) {
+	var data []byte
+	rec := `{"root":[{"metadata":{"count":1},"results":[{"date":"2013-12-01T00:00","dataType":"TMIN","value":%d,"note":"esc\\nape %s"}]}]}` + "\n"
+	pad := make([]byte, 150)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	for i := 0; i < 200; i++ {
+		data = append(data, []byte(fmt.Sprintf(rec, i%40, string(pad)))...)
+	}
+	src := &runtime.MemSource{Collections: map[string]map[string][]byte{
+		"/nd": {"recs.json": data},
+	}}
+	valuePath := jsonparse.Path{
+		jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("results"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("value"),
+	}
+	zm, err := Build(src, "/nd", valuePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := zm.Files["/nd/recs.json"]
+	if st.Count != 200 {
+		t.Fatalf("count = %d, want 200 (one value per NDJSON record)", st.Count)
+	}
+	splits := zm.Splits["/nd/recs.json"]
+	if len(splits) == 0 {
+		t.Fatal("no splits recorded for a newline-delimited file")
+	}
+	prev := int64(0)
+	for _, s := range splits {
+		if s <= prev {
+			t.Fatalf("splits not strictly ascending at %d", s)
+		}
+		if s > int64(len(data)) || data[s-1] != '\n' {
+			t.Fatalf("split %d is not the byte just past a newline", s)
+		}
+		prev = s
+	}
+	if int64(len(splits)) > int64(len(data))/DefaultSplitGrain+1 {
+		t.Fatalf("%d splits for %d bytes: sampling grain not applied", len(splits), len(data))
+	}
+	reg := NewRegistry()
+	reg.Add(zm)
+	if sp, ok := reg.FileSplits("/nd", "/nd/recs.json"); !ok || len(sp) != len(splits) {
+		t.Fatalf("FileSplits = %d, ok=%v", len(sp), ok)
+	}
+	if _, ok := reg.FileSplits("/other", "/nd/recs.json"); ok {
+		t.Error("wrong collection should miss")
+	}
+	if _, ok := reg.FileSplits("/nd", "nope.json"); ok {
+		t.Error("wrong file should miss")
 	}
 }

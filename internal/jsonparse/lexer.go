@@ -20,11 +20,15 @@
 package jsonparse
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"strconv"
 	"unicode/utf8"
+
+	"vxq/internal/item"
 )
 
 // TokenKind identifies a JSON token.
@@ -112,13 +116,27 @@ type Lexer struct {
 	// contains escapes); it is reused across tokens.
 	scratch []byte
 
+	// keyScratch holds the key bytes objectMember returns when its tokenizer
+	// fallback runs: the colon advance that follows can refill and compact
+	// the chunk buffer, so a zero-copy view of the key would be shifted out
+	// from under the caller. Reused across members.
+	keyScratch []byte
+
 	// intern maps object-key bytes to a shared string so a key that repeats
 	// across millions of records is materialized once (see InternKey).
 	intern map[string]string
 
-	// refSkip selects the token-level reference skip instead of the raw
-	// structural skip (differential tests and before/after benchmarks).
-	refSkip bool
+	// strItems caches boxed item.String values the same way intern caches
+	// key strings: projected low-cardinality string fields (enum-like codes
+	// such as "TMIN") repeat across millions of records, and reusing the
+	// boxed item removes both the string copy and the interface allocation
+	// from the per-record path (see internStringItem).
+	strItems map[string]item.Item
+
+	// skipMode selects how discarded subtrees are consumed: the structural
+	// index kernel, the byte-class scan, the token-level reference, or (the
+	// default) an automatic choice by chunk size. See SkipMode.
+	skipMode SkipMode
 
 	// Current token state, valid after Next.
 	Kind TokenKind
@@ -182,10 +200,60 @@ func (l *Lexer) ResetStream(r io.Reader, base int64) {
 	l.Kind, l.str, l.numRaw = TokEOF, nil, nil
 }
 
+// SkipMode selects the implementation used to consume subtrees a projection
+// discards. The three concrete modes exist for differential testing and
+// before/after benchmarks; production code leaves the default.
+type SkipMode uint8
+
+const (
+	// SkipAuto (the default) picks SkipIndexed when the chunk buffer is
+	// large enough for the block kernel to pay off (in-memory inputs and
+	// streams with chunks >= indexedSkipMinChunk) and SkipRawBytes for
+	// small-chunk streams, preserving their bounded-peak-memory behavior.
+	SkipAuto SkipMode = iota
+	// SkipIndexed navigates the SWAR structural index (structidx.go),
+	// consuming 64-byte blocks per step.
+	SkipIndexed
+	// SkipRawBytes runs the byte-class structural scan, one byte per step.
+	SkipRawBytes
+	// SkipTokens drives the tokenizer through every token of the skipped
+	// value: the slow differential oracle.
+	SkipTokens
+)
+
+// indexedSkipMinChunk is the smallest streaming chunk size for which
+// SkipAuto selects the structural-index kernel: below it, windows rarely
+// hold a full 64-byte block plus lookahead and the byte-class scan wins.
+const indexedSkipMinChunk = 4096
+
+// SetSkipMode selects the skip implementation (see SkipMode).
+func (l *Lexer) SetSkipMode(m SkipMode) { l.skipMode = m }
+
 // SetReferenceSkip switches the lexer's skip path to the token-level
-// reference implementation (true) or the default structural raw scan
-// (false). It exists for differential tests and before/after benchmarks.
-func (l *Lexer) SetReferenceSkip(on bool) { l.refSkip = on }
+// reference implementation (true) or back to the default automatic choice
+// (false). It exists for differential tests and before/after benchmarks and
+// predates SetSkipMode, which the three-way differential suite uses.
+func (l *Lexer) SetReferenceSkip(on bool) {
+	if on {
+		l.skipMode = SkipTokens
+	} else {
+		l.skipMode = SkipAuto
+	}
+}
+
+// indexedSkip reports whether raw skips should navigate the structural
+// index: explicitly selected, or automatic with a window large enough for
+// whole blocks.
+func (l *Lexer) indexedSkip() bool {
+	switch l.skipMode {
+	case SkipIndexed:
+		return true
+	case SkipAuto:
+		return l.r == nil || len(l.buf) >= indexedSkipMinChunk
+	default:
+		return false
+	}
+}
 
 // StrBytes returns the decoded string value of the current TokString token
 // as a byte-slice view. The view is only valid until the lexer next
@@ -203,11 +271,15 @@ const maxInternEntries = 1 << 12
 // InternKey materializes the current TokString token through the lexer's
 // intern table: every occurrence of the same key bytes returns the same
 // string, so a key repeated across millions of records is allocated once.
-func (l *Lexer) InternKey() string {
-	if s, ok := l.intern[string(l.str)]; ok { // no-alloc map probe
+func (l *Lexer) InternKey() string { return l.internBytes(l.str) }
+
+// internBytes is InternKey for an explicit byte view (the raw key scan
+// returns key bytes without touching token state).
+func (l *Lexer) internBytes(b []byte) string {
+	if s, ok := l.intern[string(b)]; ok { // no-alloc map probe
 		return s
 	}
-	s := string(l.str)
+	s := string(b)
 	if l.intern == nil {
 		l.intern = make(map[string]string, 16)
 	}
@@ -324,7 +396,17 @@ func (l *Lexer) ensure(n int) (bool, error) {
 	return true, nil
 }
 
+// skipSpace consumes inter-token whitespace. The body is a single compare so
+// the call inlines everywhere: compact JSON has no whitespace between tokens
+// at all, and every byte above 0x20 starts a token.
 func (l *Lexer) skipSpace() error {
+	if l.pos < l.end && l.buf[l.pos] > 0x20 {
+		return nil
+	}
+	return l.skipSpaceSlow()
+}
+
+func (l *Lexer) skipSpaceSlow() error {
 	for {
 		for l.pos < l.end {
 			switch l.buf[l.pos] {
@@ -649,6 +731,19 @@ func (l *Lexer) scanString() ([]byte, error) {
 	for {
 		p := l.pos
 		for p < l.end {
+			// Word-at-a-time fast path: jump straight to the next byte the
+			// scanner must look at (quote, backslash or control byte). The
+			// loose event mask can set false-positive bits, but only above
+			// its lowest set bit, which is always a real event — and an
+			// all-zero mask exactly means the word is plain text.
+			if l.end-p >= 8 {
+				m := stringEventMask(binary.LittleEndian.Uint64(l.buf[p:]))
+				if m == 0 {
+					p += 8
+					continue
+				}
+				p += bits.TrailingZeros64(m) >> 3
+			}
 			c := l.buf[p]
 			if c == '"' {
 				var s []byte
@@ -692,6 +787,306 @@ func (l *Lexer) scanString() ([]byte, error) {
 		}
 		segStart = l.pos
 	}
+}
+
+// SkipNextValue consumes the JSON value that begins at the cursor (after
+// inter-token whitespace) without tokenizing its first token: the projector
+// uses it for object members whose key did not match, so a discarded string
+// is never escape-decoded into scratch and a discarded container goes
+// straight to the structural skip. On return the lexer's token state is the
+// value's closing token where that is cheap to report (containers, strings)
+// and unspecified otherwise; callers always advance with Next before reading
+// tokens again. In SkipTokens mode it runs the tokenizer over the whole
+// value, making it the same three-way differential surface as SkipValueRaw.
+func (l *Lexer) SkipNextValue() error {
+	if l.skipMode == SkipTokens {
+		if err := l.Next(); err != nil {
+			return err
+		}
+		return skipValue(l)
+	}
+	if err := l.skipSpace(); err != nil {
+		return err
+	}
+	if l.pos >= l.end {
+		return l.errf("unexpected end of input")
+	}
+	switch c := l.buf[l.pos]; c {
+	case '"':
+		l.pos++
+		// One inline word probe resolves short escape-free values ("TMIN",
+		// enum-like codes) without the scan-loop call.
+		if p := l.pos; l.end-p >= 8 {
+			w := l.buf[p : p+8 : p+8]
+			if m := stringEventMask(binary.LittleEndian.Uint64(w)); m != 0 {
+				if q := p + bits.TrailingZeros64(m)>>3; l.buf[q] == '"' {
+					l.pos = q + 1
+					l.Kind, l.str = TokString, nil
+					return nil
+				}
+			}
+		}
+		if err := l.skipStringRaw(l.indexedSkip()); err != nil {
+			return err
+		}
+		l.Kind, l.str = TokString, nil
+		return nil
+	case '{':
+		l.pos++
+		return l.skipContainer(TokLBrace, 1)
+	case '[':
+		l.pos++
+		return l.skipContainer(TokLBracket, 1)
+	default:
+		if c == '-' || (c >= '0' && c <= '9') {
+			// Numbers are skipped as a raw run of number characters, with no
+			// grammar check. On token-valid input the run ends exactly where
+			// the tokenized number does (the next byte is always whitespace
+			// or a structural), so the extents agree; on input the token
+			// reference rejects, the run is merely more permissive — the
+			// same one-directional contract the container skip has for
+			// malformed escapes and misplaced separators.
+			l.pos++
+			for {
+				buf, p := l.buf[:l.end], l.pos
+				for p < len(buf) {
+					c := buf[p]
+					if ('0' <= c && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+						p++
+						continue
+					}
+					break
+				}
+				l.pos = p
+				if p < len(buf) {
+					l.Kind, l.numRaw = TokNumber, nil
+					return nil
+				}
+				got, err := l.refill()
+				if err != nil {
+					return err
+				}
+				if !got {
+					l.Kind, l.numRaw = TokNumber, nil
+					return nil
+				}
+			}
+		}
+		// Literals keep full tokenization: the checks are cheap relative to
+		// the dispatch, and reusing Next keeps the token-mode extents (and
+		// errors) exactly aligned.
+		if err := l.Next(); err != nil {
+			return err
+		}
+		switch l.Kind {
+		case TokNull, TokTrue, TokFalse, TokNumber, TokString:
+			return nil
+		default:
+			return fmt.Errorf("json: offset %d: unexpected token %s", l.Offset(), l.Kind)
+		}
+	}
+}
+
+// skipStringRaw consumes a string body (cursor just past the opening quote)
+// without decoding it: escapes are stepped over, not validated or expanded,
+// and nothing is copied to scratch. indexed selects the word-at-a-time event
+// jump (four words probed per iteration, so long string bodies cost one
+// masked compare per eight bytes with the branches amortized); without it
+// the loop is the byte-class scan's string arm, kept as the small-chunk
+// fallback and the differential counterpart.
+func (l *Lexer) skipStringRaw(indexed bool) error {
+	esc := false // a backslash was the last byte before a window edge
+	for {
+		buf, p := l.buf[:l.end], l.pos
+		if esc && p < len(buf) {
+			esc = false
+			p++
+		}
+		for p < len(buf) {
+			if indexed {
+				p = stringSeek(buf, p)
+				if p >= len(buf) {
+					break
+				}
+			}
+			switch c := buf[p]; {
+			case c == '"':
+				l.pos = p + 1
+				return nil
+			case c == '\\':
+				if len(buf)-p >= 2 {
+					p += 2
+					continue
+				}
+				esc = true
+				p = len(buf)
+				continue
+			case c < 0x20:
+				l.pos = p
+				return l.errf("control character in string")
+			default:
+				p++
+			}
+		}
+		l.pos = p
+		got, err := l.refill()
+		if err != nil {
+			return err
+		}
+		if !got {
+			return l.errf("unterminated string")
+		}
+	}
+}
+
+// objectMember steps the projector through one object-member boundary in a
+// single pass: with first set it runs right after the '{' (where '}' closes
+// the object), otherwise right after a member's value (where it consumes the
+// separating ',' — or reports the close). It then scans `"key":` and returns
+// a view of the raw key bytes. The fast path finds the closing quote by
+// event mask and the colon bytewise inside the current window, touching no
+// token state and copying nothing; keys with escapes, keys spanning a refill
+// edge, and every malformed shape fall back to the tokenizer, which owns the
+// error reporting. The view is valid until the lexer next advances.
+func (l *Lexer) objectMember(first bool) (key []byte, closed bool, err error) {
+	if l.skipMode == SkipTokens {
+		return l.objectMemberTokens(first)
+	}
+	if err := l.skipSpace(); err != nil {
+		return nil, false, err
+	}
+	if !first {
+		if l.pos >= l.end {
+			// Tokenizer path reports the EOF with its usual wording.
+			if err := l.Next(); err != nil {
+				return nil, false, err
+			}
+			return nil, false, fmt.Errorf("json: offset %d: expected ',' or '}', got %s", l.Offset(), l.Kind)
+		}
+		switch l.buf[l.pos] {
+		case ',':
+			l.pos++
+			if err := l.skipSpace(); err != nil {
+				return nil, false, err
+			}
+		case '}':
+			l.pos++
+			l.Kind = TokRBrace
+			return nil, true, nil
+		default:
+			if err := l.Next(); err != nil {
+				return nil, false, err
+			}
+			return nil, false, fmt.Errorf("json: offset %d: expected ',' or '}', got %s", l.Offset(), l.Kind)
+		}
+	}
+	if l.pos < l.end {
+		switch l.buf[l.pos] {
+		case '}':
+			l.pos++
+			l.Kind = TokRBrace
+			if !first {
+				return nil, false, fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
+			}
+			return nil, true, nil
+		case '"':
+			buf := l.buf[:l.end]
+			p := l.pos + 1
+			// Short keys resolve with one inline word probe; longer or
+			// escape-bearing ones take the seek call.
+			if len(buf)-p >= 8 {
+				w := buf[p : p+8 : p+8]
+				if m := stringEventMask(binary.LittleEndian.Uint64(w)); m != 0 {
+					p += bits.TrailingZeros64(m) >> 3
+				} else {
+					p = stringSeek(buf, p+8)
+				}
+			} else {
+				p = stringSeek(buf, p)
+			}
+			if p < len(buf) && buf[p] == '"' {
+				kb := buf[l.pos+1 : p]
+				// The colon search stays inside the window so the key
+				// view cannot be shifted by a refill. '\n' defers to
+				// the tokenizer, which maintains LineStart.
+				for q := p + 1; q < len(buf); q++ {
+					switch buf[q] {
+					case ':':
+						l.pos = q + 1
+						l.Kind = TokColon
+						return kb, false, nil
+					case ' ', '\t', '\r':
+					default:
+						q = len(buf)
+					}
+				}
+			}
+			// Escaped or window-spanning keys, and every malformed
+			// shape, fall through to the tokenizer below.
+		}
+	}
+	// Tokenizer path: decoded keys, window edges, and error reporting.
+	if err := l.Next(); err != nil {
+		return nil, false, err
+	}
+	if l.Kind == TokRBrace {
+		if !first {
+			return nil, false, fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
+		}
+		return nil, true, nil
+	}
+	if l.Kind != TokString {
+		return nil, false, fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
+	}
+	// The colon advance below may refill and compact the chunk buffer, so
+	// the key must be copied out of it first (l.str is a zero-copy view).
+	l.keyScratch = append(l.keyScratch[:0], l.str...)
+	if err := l.Next(); err != nil {
+		return nil, false, err
+	}
+	if l.Kind != TokColon {
+		return nil, false, fmt.Errorf("json: offset %d: expected ':', got %s", l.Offset(), l.Kind)
+	}
+	return l.keyScratch, false, nil
+}
+
+// objectMemberTokens is the token-mode twin of objectMember: every member
+// boundary, key and colon is consumed through Next, so reference-mode runs
+// pay full tokenization and the differential suite exercises a pure
+// token-level surface.
+func (l *Lexer) objectMemberTokens(first bool) (key []byte, closed bool, err error) {
+	if !first {
+		if err := l.Next(); err != nil {
+			return nil, false, err
+		}
+		switch l.Kind {
+		case TokComma:
+		case TokRBrace:
+			return nil, true, nil
+		default:
+			return nil, false, fmt.Errorf("json: offset %d: expected ',' or '}', got %s", l.Offset(), l.Kind)
+		}
+	}
+	if err := l.Next(); err != nil {
+		return nil, false, err
+	}
+	if l.Kind == TokRBrace {
+		if !first {
+			return nil, false, fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
+		}
+		return nil, true, nil
+	}
+	if l.Kind != TokString {
+		return nil, false, fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
+	}
+	l.keyScratch = append(l.keyScratch[:0], l.str...)
+	if err := l.Next(); err != nil {
+		return nil, false, err
+	}
+	if l.Kind != TokColon {
+		return nil, false, fmt.Errorf("json: offset %d: expected ':', got %s", l.Offset(), l.Kind)
+	}
+	return l.keyScratch, false, nil
 }
 
 // SkipValueRaw advances over the value whose first token is the current
@@ -740,9 +1135,108 @@ func (l *Lexer) SkipValueRaw() error {
 	default:
 		return fmt.Errorf("json: offset %d: unexpected token %s", l.Offset(), l.Kind)
 	}
-	open := l.Kind
-	depth := 1
-	inStr, esc := false, false
+	return l.skipContainer(l.Kind, 1)
+}
+
+// skipContainer consumes the rest of an already-opened container (the cursor
+// sits just past the open bracket, depth brackets deep), dispatching between
+// the structural-index kernel and the byte-class scan.
+func (l *Lexer) skipContainer(open TokenKind, depth int) error {
+	if l.indexedSkip() {
+		return l.skipContainerIndexed(open, depth)
+	}
+	return l.skipContainerBytes(open, depth, false, false)
+}
+
+// skipContainerIndexed is the phase-2 navigator of the structural index: a
+// two-arm word-jump machine that consults the per-word event bitmaps from
+// structidx.go and only ever touches bytes that can change the scanner's
+// state. The split into arms is what makes the probes cheap: outside a
+// string only quotes and brackets matter (structEventMask, three byte
+// classes — commas, colons and whitespace are never loaded), inside a string
+// only quotes, backslashes and control bytes do (stringEventMask). Each arm
+// jumps from one event to the next eight bytes at a time; a whole word of
+// number digits, string text or separators costs one load and one masked
+// compare. Escapes are consumed positionally (backslash plus one byte), so
+// no escape flag survives inside a window — only across a refill edge.
+func (l *Lexer) skipContainerIndexed(open TokenKind, depth int) error {
+	inStr := false
+	esc := false // a backslash was the last byte before a window edge
+	for {
+		// The window is re-sliced to its valid extent so the length checks
+		// inside the word loads fall to the loop conditions (bounds-check
+		// elimination keeps the hot loops branch-lean).
+		buf, p := l.buf[:l.end], l.pos
+		if esc && p < len(buf) {
+			esc = false
+			p++
+		}
+		for p < len(buf) {
+			if inStr {
+				if p = stringSeek(buf, p); p >= len(buf) {
+					break
+				}
+				switch c := buf[p]; {
+				case c == '"':
+					inStr = false
+				case c == '\\':
+					if len(buf)-p >= 2 {
+						p += 2
+						continue
+					}
+					esc = true
+					p = len(buf)
+					continue
+				default:
+					l.pos = p
+					return l.errf("control character in string")
+				}
+				p++
+				continue
+			}
+			if p = structSeek(buf, p); p >= len(buf) {
+				break
+			}
+			switch c := buf[p]; c {
+			case '"':
+				inStr = true
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					l.pos = p + 1
+					if c == '}' {
+						l.Kind = TokRBrace
+					} else {
+						l.Kind = TokRBracket
+					}
+					return nil
+				}
+			}
+			p++
+		}
+		l.pos = p
+		got, err := l.refill()
+		if err != nil {
+			return err
+		}
+		if !got {
+			if inStr {
+				return l.errf("unterminated string")
+			}
+			if open == TokLBrace {
+				return fmt.Errorf("json: unexpected end of input in object")
+			}
+			return fmt.Errorf("json: unexpected end of input in array")
+		}
+	}
+}
+
+// skipContainerBytes is the byte-class structural scan: the small-chunk
+// fallback of skipContainer and the tail finisher of the indexed kernel,
+// seeded with the depth and in-string/escape state carried to this point.
+func (l *Lexer) skipContainerBytes(open TokenKind, depth int, inStr, esc bool) error {
 	for {
 		// Scan the current window with local copies of the hot fields; the
 		// compiler keeps them in registers. esc survives the window edge, so

@@ -56,7 +56,7 @@ func parseValue(l *Lexer) (item.Item, error) {
 		}
 		return item.Number(n), nil
 	case TokString:
-		return item.String(l.StrValue()), nil
+		return l.internStringItem(), nil
 	case TokLBracket:
 		return parseArray(l)
 	case TokLBrace:
@@ -143,14 +143,35 @@ func parseObject(l *Lexer) (item.Item, error) {
 	}
 }
 
+// internStringItem materializes the current TokString token as a boxed
+// item.String through the lexer's string-item cache: a value repeated across
+// records (status codes, enum-like fields) costs its string copy and
+// interface allocation once, and zero allocations on every later occurrence.
+// The cache shares maxInternEntries with the key intern table; past the cap,
+// values are materialized per occurrence.
+func (l *Lexer) internStringItem() item.Item {
+	if it, ok := l.strItems[string(l.str)]; ok { // no-alloc map probe
+		return it
+	}
+	s := item.String(l.str)
+	var it item.Item = s
+	if l.strItems == nil {
+		l.strItems = make(map[string]item.Item, 16)
+	}
+	if len(l.strItems) < maxInternEntries {
+		l.strItems[string(s)] = it
+	}
+	return it
+}
+
 // skipCurrent consumes the value whose first token is the current token
 // without materializing anything; on return the current token is the
 // value's last token. It normally runs the structural raw scan
-// (Lexer.SkipValueRaw); a lexer put in reference mode (SetReferenceSkip)
+// (Lexer.SkipValueRaw); a lexer put in token-reference mode (SkipTokens)
 // uses the token-level skipValue instead, which differential tests and the
 // before/after benchmarks compare against.
 func skipCurrent(l *Lexer) error {
-	if l.refSkip {
+	if l.skipMode == SkipTokens {
 		return skipValue(l)
 	}
 	return l.SkipValueRaw()

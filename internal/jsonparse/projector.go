@@ -322,46 +322,28 @@ func bytesEqString(b []byte, s string) bool {
 }
 
 func projectObjectKey(l *Lexer, key string, rest Path, emit func(item.Item) error) error {
-	// Current token is '{'.
-	if err := l.Next(); err != nil {
-		return err
-	}
-	if l.Kind == TokRBrace {
-		return nil
-	}
+	// Current token is '{'. Member boundaries, keys and colons are consumed
+	// by the raw member scan, and non-matching values by SkipNextValue, so
+	// a member that is not projected never materializes a single token.
+	first := true
 	for {
-		if l.Kind != TokString {
-			return fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
-		}
-		match := bytesEqString(l.StrBytes(), key)
-		if err := l.Next(); err != nil {
+		kb, closed, err := l.objectMember(first)
+		if err != nil {
 			return err
 		}
-		if l.Kind != TokColon {
-			return fmt.Errorf("json: offset %d: expected ':', got %s", l.Offset(), l.Kind)
+		if closed {
+			return nil
 		}
-		if err := l.Next(); err != nil {
-			return err
-		}
-		if match {
-			if err := projectValue(l, rest, emit); err != nil {
-				return err
-			}
-		} else if err := skipCurrent(l); err != nil {
-			return err
-		}
-		if err := l.Next(); err != nil {
-			return err
-		}
-		switch l.Kind {
-		case TokComma:
+		first = false
+		if bytesEqString(kb, key) {
 			if err := l.Next(); err != nil {
 				return err
 			}
-		case TokRBrace:
-			return nil
-		default:
-			return fmt.Errorf("json: offset %d: expected ',' or '}', got %s", l.Offset(), l.Kind)
+			if err := projectValue(l, rest, emit); err != nil {
+				return err
+			}
+		} else if err := l.SkipNextValue(); err != nil {
+			return err
 		}
 	}
 }
@@ -370,45 +352,23 @@ func projectObjectKeys(l *Lexer, rest Path, emit func(item.Item) error) error {
 	// keys-or-members on an object: emit each key (a string item) after
 	// applying the remaining path to it. A string with remaining steps
 	// yields nothing, so only an empty rest emits.
-	if err := l.Next(); err != nil {
-		return err
-	}
-	if l.Kind == TokRBrace {
-		return nil
-	}
+	first := true
 	for {
-		if l.Kind != TokString {
-			return fmt.Errorf("json: offset %d: expected object key, got %s", l.Offset(), l.Kind)
-		}
-		if len(rest) == 0 {
-			if err := emit(item.String(l.InternKey())); err != nil {
-				return err
-			}
-		}
-		if err := l.Next(); err != nil {
+		kb, closed, err := l.objectMember(first)
+		if err != nil {
 			return err
 		}
-		if l.Kind != TokColon {
-			return fmt.Errorf("json: offset %d: expected ':', got %s", l.Offset(), l.Kind)
-		}
-		if err := l.Next(); err != nil {
-			return err
-		}
-		if err := skipCurrent(l); err != nil {
-			return err
-		}
-		if err := l.Next(); err != nil {
-			return err
-		}
-		switch l.Kind {
-		case TokComma:
-			if err := l.Next(); err != nil {
-				return err
-			}
-		case TokRBrace:
+		if closed {
 			return nil
-		default:
-			return fmt.Errorf("json: offset %d: expected ',' or '}', got %s", l.Offset(), l.Kind)
+		}
+		first = false
+		if len(rest) == 0 {
+			if err := emit(item.String(l.internBytes(kb))); err != nil {
+				return err
+			}
+		}
+		if err := l.SkipNextValue(); err != nil {
+			return err
 		}
 	}
 }

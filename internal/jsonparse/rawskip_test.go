@@ -14,21 +14,27 @@ import (
 
 // skipChunkSizes are the refill-window sizes the differential tests sweep:
 // the pathological minimum (7 floors to the lexer's 64-byte window, forcing
-// a refill every few tokens), the floor itself, and a size larger than every
-// test document (no refill at all). Chunk 0 selects the in-memory slice
-// lexer instead of a stream lexer.
-var skipChunkSizes = []int{0, 7, 64, 4096}
+// a refill every few tokens), sizes bracketing the structural-index block
+// size (63, 64, 65 — one event exactly on, just before, and just after a
+// block edge), and a size larger than every test document (no refill at
+// all). Chunk 0 selects the in-memory slice lexer instead of a stream lexer.
+var skipChunkSizes = []int{0, 7, 63, 64, 65, 4096}
 
-// runSkip tokenizes the first token of data and skips the first value in the
-// requested mode, returning the absolute end offset of the skipped value.
-func runSkip(data []byte, chunk int, reference bool) (int, error) {
+// skipModes are the three concrete skip implementations the differential
+// compares: the token-level oracle, the byte-class structural scan, and the
+// SWAR structural-index kernel.
+var skipModes = []SkipMode{SkipTokens, SkipRawBytes, SkipIndexed}
+
+// runSkipMode tokenizes the first token of data and skips the first value in
+// the requested mode, returning the absolute end offset of the skipped value.
+func runSkipMode(data []byte, chunk int, mode SkipMode) (int, error) {
 	var l *Lexer
 	if chunk == 0 {
 		l = NewLexer(data)
 	} else {
 		l = NewStreamLexer(bytes.NewReader(data), chunk)
 	}
-	l.SetReferenceSkip(reference)
+	l.SetSkipMode(mode)
 	if err := l.Next(); err != nil {
 		return l.Offset(), err
 	}
@@ -36,7 +42,7 @@ func runSkip(data []byte, chunk int, reference bool) (int, error) {
 		return l.Offset(), fmt.Errorf("empty input")
 	}
 	var err error
-	if reference {
+	if mode == SkipTokens {
 		err = skipValue(l)
 	} else {
 		err = l.SkipValueRaw()
@@ -66,15 +72,27 @@ func jsonOracleExtent(data []byte) (end int, ok bool) {
 }
 
 // checkSkipAgreement asserts the differential contract on one input:
+//   - the two raw scans (byte-class and structural-index) are exactly
+//     equivalent: same ok-ness, same extent, same error text — on every
+//     input, valid or not;
 //   - token-skip ok  ⇒  raw-skip ok with byte-for-byte the same extent;
 //   - encoding/json ok  ⇒  token-skip ok with the same extent (so on every
-//     input all three oracles agree on valid values);
-//   - raw-skip error ⇒ token-skip error (the raw scan is strictly more
+//     input all oracles agree on valid values);
+//   - raw-skip error ⇒ token-skip error (the raw scans are strictly more
 //     permissive, never less).
 func checkSkipAgreement(t *testing.T, data []byte, chunk int) {
 	t.Helper()
-	endTok, errTok := runSkip(data, chunk, true)
-	endRaw, errRaw := runSkip(data, chunk, false)
+	endTok, errTok := runSkipMode(data, chunk, SkipTokens)
+	endRaw, errRaw := runSkipMode(data, chunk, SkipRawBytes)
+	endIdx, errIdx := runSkipMode(data, chunk, SkipIndexed)
+	if (errRaw == nil) != (errIdx == nil) || endRaw != endIdx {
+		t.Fatalf("chunk %d: raw modes diverge on %q: bytes(%d,%v) indexed(%d,%v)",
+			chunk, data, endRaw, errRaw, endIdx, errIdx)
+	}
+	if errRaw != nil && errIdx != nil && errRaw.Error() != errIdx.Error() {
+		t.Fatalf("chunk %d: raw error text diverges on %q: bytes %q, indexed %q",
+			chunk, data, errRaw, errIdx)
+	}
 	if errTok == nil {
 		if errRaw != nil {
 			t.Fatalf("chunk %d: token-skip ok (end %d) but raw-skip failed on %q: %v",
@@ -135,6 +153,30 @@ func skipCorpus() [][]byte {
 	depth := 300
 	corpus = append(corpus, strings.Repeat("[", depth)+"7"+strings.Repeat("]", depth))
 	corpus = append(corpus, strings.Repeat(`{"k":[`, 50)+"1"+strings.Repeat("]}", 50))
+	// Block-edge cases for the 64-byte structural-index kernel: every event
+	// shifted to land exactly on, just before, and just after word (8B) and
+	// block (64B) boundaries — closing quotes, backslashes split from their
+	// escaped character, and long \\ runs whose parity decides whether the
+	// next quote closes the string.
+	for _, at := range []int{6, 7, 8, 9, 62, 63, 64, 65, 127, 128} {
+		pad := strings.Repeat("a", at)
+		corpus = append(corpus,
+			`{"s":"`+pad+`"}`,                       // closing quote near the edge
+			`{"s":"`+pad+`\n tail"}`,                // escape straddling the edge
+			`{"s":"`+pad+`\\"}`,                     // backslash-backslash then quote
+			`{"s":"`+pad+`\\\" still inside"}`,      // escaped quote after \\ run
+			`{"s":"`+pad+`","t":[1,2],"u":{"v":9}}`, // structure right after the edge
+			`["`+pad+`{not structure}","`+pad+`]"]`, // brackets inside strings at edges
+		)
+	}
+	for _, n := range []int{31, 32, 33, 63, 64, 65} {
+		run := strings.Repeat(`\\`, n)
+		corpus = append(corpus,
+			`{"s":"`+run+`"}`,        // even run, quote closes
+			`{"s":"`+run+`\""}`,      // odd backslash before quote: stays open
+			`{"s":"x`+run+`","k":1}`, // run shifted off word alignment
+		)
+	}
 	out := make([][]byte, len(corpus))
 	for i, s := range corpus {
 		out[i] = []byte(s)
@@ -162,8 +204,10 @@ func TestRawSkipStructuralErrors(t *testing.T) {
 	}
 	for _, src := range bad {
 		for _, chunk := range skipChunkSizes {
-			if _, err := runSkip([]byte(src), chunk, false); err == nil {
-				t.Errorf("chunk %d: raw-skip accepted structurally broken %q", chunk, src)
+			for _, mode := range []SkipMode{SkipRawBytes, SkipIndexed} {
+				if _, err := runSkipMode([]byte(src), chunk, mode); err == nil {
+					t.Errorf("chunk %d mode %d: raw-skip accepted structurally broken %q", chunk, mode, src)
+				}
 			}
 		}
 	}
@@ -210,12 +254,14 @@ func TestQuickRawSkipMatchesTokenSkip(t *testing.T) {
 	f := func(dp docAndPath) bool {
 		src := []byte(item.JSON(dp.Doc))
 		for _, chunk := range skipChunkSizes {
-			endTok, errTok := runSkip(src, chunk, true)
-			endRaw, errRaw := runSkip(src, chunk, false)
-			if errTok != nil || errRaw != nil || endTok != endRaw {
-				t.Logf("doc=%s chunk=%d: token(%d,%v) raw(%d,%v)",
-					src, chunk, endTok, errTok, endRaw, errRaw)
-				return false
+			endTok, errTok := runSkipMode(src, chunk, SkipTokens)
+			for _, mode := range []SkipMode{SkipRawBytes, SkipIndexed} {
+				endRaw, errRaw := runSkipMode(src, chunk, mode)
+				if errTok != nil || errRaw != nil || endTok != endRaw {
+					t.Logf("doc=%s chunk=%d mode=%d: token(%d,%v) raw(%d,%v)",
+						src, chunk, mode, endTok, errTok, endRaw, errRaw)
+					return false
+				}
 			}
 		}
 		return true
@@ -239,31 +285,34 @@ func TestQuickScanValuesModeEquivalence(t *testing.T) {
 		stream := ndjsonStream(vals)
 		path := randomPath(r)
 		for _, chunk := range skipChunkSizes[1:] {
-			var got [2]item.Sequence
-			var count [2]int
-			for mode := 0; mode < 2; mode++ {
+			got := make([]item.Sequence, len(skipModes))
+			count := make([]int, len(skipModes))
+			for mi, mode := range skipModes {
 				l := NewStreamLexer(bytes.NewReader(stream), chunk)
-				l.SetReferenceSkip(mode == 1)
+				l.SetSkipMode(mode)
 				c, err := ScanValues(l, path, -1, func(it item.Item) error {
-					got[mode] = append(got[mode], it)
+					got[mi] = append(got[mi], it)
 					return nil
 				})
 				if err != nil {
 					t.Fatalf("mode %d chunk %d: ScanValues(%s, %s): %v", mode, chunk, stream, path, err)
 				}
-				count[mode] = c
+				count[mi] = c
 			}
-			if count[0] != count[1] || !item.EqualSeq(got[0], got[1]) {
-				t.Fatalf("chunk %d: mode divergence on %s path %s: raw(%d)=%s ref(%d)=%s",
-					chunk, stream, path, count[0], item.JSONSeq(got[0]), count[1], item.JSONSeq(got[1]))
+			for mi := 1; mi < len(skipModes); mi++ {
+				if count[mi] != count[0] || !item.EqualSeq(got[mi], got[0]) {
+					t.Fatalf("chunk %d: mode divergence on %s path %s: mode %d (%d)=%s tokens(%d)=%s",
+						chunk, stream, path, skipModes[mi], count[mi], item.JSONSeq(got[mi]), count[0], item.JSONSeq(got[0]))
+				}
 			}
 		}
 	}
 }
 
-// FuzzRawSkipDifferential fuzzes the three-way skip differential. `make
-// fuzz-smoke` runs it briefly in CI; run `go test -fuzz=FuzzRawSkipDifferential
-// ./internal/jsonparse` for a real session.
+// FuzzRawSkipDifferential fuzzes the three-way skip differential (tokens vs
+// byte-class vs structural-index, cross-checked against encoding/json) over
+// every chunk size. `make fuzz-smoke` runs it briefly in CI; run `go test
+// -fuzz=FuzzRawSkipDifferential ./internal/jsonparse` for a real session.
 func FuzzRawSkipDifferential(f *testing.F) {
 	for _, data := range skipCorpus() {
 		f.Add(data, byte(0))

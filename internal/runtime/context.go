@@ -236,6 +236,17 @@ type IndexLookup interface {
 	FileRange(collection string, path jsonparse.Path, file string) (FileRange, bool)
 }
 
+// SplitLookup is an optional IndexLookup capability: reporting exact
+// record-start offsets of a newline-delimited file, precomputed by the
+// structural-index pass of a zone-map build (every offset is the byte just
+// past a newline that lies outside every string, with string state tracked
+// from offset 0). Morsel splitting uses them to cut files exactly on record
+// boundaries instead of probing for a line start at scan time; a miss simply
+// falls back to the probe. Offsets must be ascending.
+type SplitLookup interface {
+	FileSplits(collection, file string) ([]int64, bool)
+}
+
 // Ctx is the per-task evaluation context shared by the operators of one
 // partition pipeline.
 type Ctx struct {
