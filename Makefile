@@ -59,9 +59,11 @@ profile-smoke:
 
 # fuzz-smoke runs the structural-kernel fuzzers briefly: the three-way skip
 # differential (structural-index skip, byte-class skip, token-level reference,
-# cross-checked against encoding/json) and the record-boundary scanner against
-# its scalar reference, over the chunk-size sweep. Seeds under testdata/fuzz
-# are always replayed.
+# cross-checked against encoding/json), the record-boundary scanner against
+# its scalar reference over the chunk-size sweep, and the speculative parallel
+# indexer against the sequential builder across worker/chunk/grain sweeps.
+# Seeds under testdata/fuzz are always replayed.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRawSkipDifferential -fuzztime=10s ./internal/jsonparse
 	$(GO) test -run='^$$' -fuzz=FuzzBoundaryScanner -fuzztime=10s ./internal/jsonparse
+	$(GO) test -run='^$$' -fuzz=FuzzSpeculativeIndex -fuzztime=10s ./internal/jsonparse

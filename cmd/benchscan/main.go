@@ -11,7 +11,7 @@
 // Usage:
 //
 //	benchscan [-full] [-partitions 8] [-runs 3] [-out BENCH_scan.json]
-//	benchscan -parse [-parsedur 1s] [-out BENCH_parse.json]
+//	benchscan -parse [-parsedur 1s] [-workers 1,2,4,8] [-out BENCH_parse.json]
 //	benchscan -query [-querytuples 200000] [-querydur 1s] [-out BENCH_query.json]
 package main
 
@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"vxq/internal/bench"
@@ -54,6 +56,7 @@ func main() {
 	out := flag.String("out", "", "output file (default BENCH_scan.json, or BENCH_parse.json with -parse)")
 	parse := flag.Bool("parse", false, "measure the parse kernel instead of the scan scheduler")
 	parseDur := flag.Duration("parsedur", time.Second, "minimum timed duration per parse-kernel configuration")
+	parseWorkers := flag.String("workers", "1,2,4,8", "comma-separated worker counts of the parallel-builder rows (with -parse)")
 	query := flag.Bool("query", false, "measure the binary tuple kernel (group-by/shuffle/join) instead of the scan scheduler")
 	queryDur := flag.Duration("querydur", time.Second, "minimum timed duration per query-kernel configuration")
 	queryTuples := flag.Int("querytuples", 200_000, "input tuples per query-kernel shape")
@@ -63,7 +66,11 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_parse.json"
 		}
-		if err := runParseBench(*out, *parseDur); err != nil {
+		workers, err := parseWorkerList(*parseWorkers)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runParseBench(*out, *parseDur, workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -166,12 +173,36 @@ type parseReport struct {
 	TotalBytes    int64                       `json:"total_bytes"`
 	BitmapBuilder bench.BitmapBuilderResult   `json:"bitmap_builder"`
 	Shapes        map[string]parseShapeReport `json:"shapes"`
+	// ParallelBuilder holds the speculative parallel builder's scaling rows:
+	// the sequential BoundaryScanner baseline (workers == 0, speedup == 1)
+	// followed by one row per requested worker count, over a 64 MiB stream.
+	ParallelBuilder []bench.ParallelBuilderResult `json:"parallel_builder"`
+}
+
+// parseWorkerList parses the -workers flag ("1,2,4,8") into worker counts.
+func parseWorkerList(s string) ([]int, error) {
+	var workers []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		w, err := strconv.Atoi(f)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", f)
+		}
+		workers = append(workers, w)
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("-workers lists no worker counts")
+	}
+	return workers, nil
 }
 
 // runParseBench measures the three skip modes on both acceptance shapes,
-// plus the standalone phase-1 bitmap builder, and writes the
-// BENCH_parse.json artifact.
-func runParseBench(out string, minDur time.Duration) error {
+// plus the standalone phase-1 bitmap builder and the speculative parallel
+// builder's scaling rows, and writes the BENCH_parse.json artifact.
+func runParseBench(out string, minDur time.Duration, workers []int) error {
 	data, records := bench.ParseBenchStream(4 << 20)
 	rep := parseReport{
 		RecordBytes: int64(len(data)) / int64(records),
@@ -205,6 +236,20 @@ func runParseBench(out string, minDur time.Duration) error {
 	rep.BitmapBuilder = bench.MeasureBitmapBuilder(data, minDur)
 	fmt.Printf("bitmap builder: %.2f GB/s, %.4f allocs/chunk\n",
 		rep.BitmapBuilder.GBPerSec, rep.BitmapBuilder.AllocsPerChunk)
+	bigData, _ := bench.ParseBenchStream(64 << 20)
+	pb, err := bench.MeasureParallelBuilder(bigData, workers, minDur)
+	if err != nil {
+		return err
+	}
+	rep.ParallelBuilder = pb
+	for _, r := range pb {
+		if r.Workers == 0 {
+			fmt.Printf("parallel builder baseline (sequential): %.0f MB/s over %d MiB\n",
+				r.MBPerSec, r.Bytes>>20)
+			continue
+		}
+		fmt.Printf("parallel builder %d workers: %.0f MB/s (%.2fx)\n", r.Workers, r.MBPerSec, r.Speedup)
+	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"vxq/internal/jsonparse"
+)
+
+// BenchmarkParallelBuilder runs the speculative parallel builder at
+// GOMAXPROCS workers over the workload — compare against
+// BenchmarkBitmapBuilder (the fused sequential phase 1) and the sequential
+// row MeasureParallelBuilder emits.
+func BenchmarkParallelBuilder(b *testing.B) {
+	data, _ := ParseBenchStream(16 << 20)
+	pi := jsonparse.ParallelIndexer{}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sp := pi.Splits(data, ParallelBuilderSplitGrain); len(sp) == 0 {
+			b.Fatal("no splits")
+		}
+	}
+}
+
+// TestParallelIndexBounds pins the speculative parallel builder's committed
+// claims on a 64 MiB workload:
+//
+//   - correctness is unconditional: every worker count produces splits
+//     byte-identical to the sequential BoundaryScanner (MeasureParallelBuilder
+//     fails otherwise);
+//   - scaling is keyed off the host's core count, so the gate is meaningful
+//     on CI runners of any width: >= 3x at 8 workers on >= 8 cores, >= 2x at
+//     4 workers on >= 4 cores, >= 1.3x at 2 workers on >= 2 cores;
+//   - on any host, including single-core ones, the speculation overhead is
+//     bounded: the best parallel configuration is never worse than 1.6x the
+//     sequential pass (one extra pass over ~25% of the input plus stitching).
+func TestParallelIndexBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping parallel index bounds in -short")
+	}
+	data, _ := ParseBenchStream(64 << 20)
+	results, err := MeasureParallelBuilder(data, []int{1, 2, 4, 8}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byWorkers := map[int]ParallelBuilderResult{}
+	bestSpeedup := 0.0
+	for _, r := range results {
+		byWorkers[r.Workers] = r
+		t.Logf("workers=%d: %.0f MB/s (%.2fx sequential, %d splits)", r.Workers, r.MBPerSec, r.Speedup, r.Splits)
+		if r.Workers > 0 && r.Speedup > bestSpeedup {
+			bestSpeedup = r.Speedup
+		}
+	}
+	ncpu := goruntime.NumCPU()
+	check := func(workers int, want float64) {
+		r, ok := byWorkers[workers]
+		if !ok {
+			t.Fatalf("no measurement at %d workers", workers)
+		}
+		if r.Speedup < want {
+			t.Errorf("%d workers on %d cores: speedup %.2fx, want >= %.1fx", workers, ncpu, r.Speedup, want)
+		}
+	}
+	switch {
+	case ncpu >= 8:
+		check(8, 3.0)
+		check(4, 2.0)
+	case ncpu >= 4:
+		check(4, 2.0)
+	case ncpu >= 2:
+		check(2, 1.3)
+	}
+	if bestSpeedup < 1/1.6 {
+		t.Errorf("best parallel configuration is %.2fx sequential; overhead bound is 1.6x slowdown", bestSpeedup)
+	}
+}

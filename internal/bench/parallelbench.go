@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"vxq/internal/jsonparse"
+)
+
+// ParallelBuilderSplitGrain is the record-start sampling granularity of the
+// parallel-builder benchmark — the zone-map build's production grain.
+const ParallelBuilderSplitGrain int64 = 4 << 10
+
+// ParallelBuilderResult is one measured worker count of the speculative
+// parallel structural-index builder (jsonparse.ParallelIndexer.Splits),
+// serialized into BENCH_parse.json. Speedup is against the sequential
+// BoundaryScanner baseline over the same buffer — both sides run the full
+// phase-1 classification per block, so the ratio isolates what speculation
+// and stitching cost or return.
+type ParallelBuilderResult struct {
+	Workers  int     `json:"workers"`
+	Bytes    int64   `json:"bytes"`
+	Seconds  float64 `json:"seconds"`
+	MBPerSec float64 `json:"mb_per_sec"`
+	Speedup  float64 `json:"speedup"`
+	Splits   int64   `json:"splits"`
+}
+
+// MeasureParallelBuilder times the sequential boundary scanner and the
+// parallel builder at each requested worker count over data, best-of-passes
+// until minDuration per configuration. Every parallel pass's splits are
+// verified byte-identical to the sequential baseline's — a mismatch is an
+// error, not a slow result. The sequential baseline is returned as a
+// ParallelBuilderResult with Workers == 0 and Speedup == 1.
+func MeasureParallelBuilder(data []byte, workers []int, minDuration time.Duration) ([]ParallelBuilderResult, error) {
+	bestOf := func(pass func() []int64) (float64, []int64) {
+		splits := pass() // warm-up
+		var (
+			best     float64
+			deadline = time.Now().Add(minDuration)
+		)
+		for {
+			start := time.Now()
+			splits = pass()
+			sec := time.Since(start).Seconds()
+			if best == 0 || sec < best {
+				best = sec
+			}
+			if !time.Now().Before(deadline) {
+				break
+			}
+		}
+		return best, splits
+	}
+
+	seqSec, seqSplits := bestOf(func() []int64 {
+		bs := jsonparse.NewBoundaryScanner(ParallelBuilderSplitGrain)
+		bs.Write(data)
+		bs.Close()
+		return bs.Splits()
+	})
+	mb := float64(len(data)) / (1 << 20)
+	results := []ParallelBuilderResult{{
+		Workers:  0,
+		Bytes:    int64(len(data)),
+		Seconds:  seqSec,
+		MBPerSec: mb / seqSec,
+		Speedup:  1,
+		Splits:   int64(len(seqSplits)),
+	}}
+	for _, w := range workers {
+		pi := jsonparse.ParallelIndexer{Workers: w}
+		sec, splits := bestOf(func() []int64 {
+			return pi.Splits(data, ParallelBuilderSplitGrain)
+		})
+		if len(splits) != len(seqSplits) {
+			return nil, fmt.Errorf("parallel builder (%d workers): %d splits, sequential %d",
+				w, len(splits), len(seqSplits))
+		}
+		for i := range splits {
+			if splits[i] != seqSplits[i] {
+				return nil, fmt.Errorf("parallel builder (%d workers): split[%d] = %d, sequential %d",
+					w, i, splits[i], seqSplits[i])
+			}
+		}
+		results = append(results, ParallelBuilderResult{
+			Workers:  w,
+			Bytes:    int64(len(data)),
+			Seconds:  sec,
+			MBPerSec: mb / sec,
+			Speedup:  seqSec / sec,
+			Splits:   int64(len(splits)),
+		})
+	}
+	return results, nil
+}

@@ -30,6 +30,15 @@ type Env struct {
 	// (DefaultMorselSize when <= 0): raw-JSON files larger than this are
 	// split into independently schedulable byte ranges.
 	MorselSize int64
+	// ColdIndexMinBytes gates the cold-scan boundary pass: a raw-JSON file
+	// at least this large with no recorded record-boundary index gets one
+	// from the speculative parallel indexer at queue-build time, so even the
+	// first scan of a huge file cuts morsels exactly on record starts
+	// (DefaultColdIndexMinBytes when 0; negative disables the pass).
+	ColdIndexMinBytes int64
+	// ColdIndexWorkers is the worker count of that pass (GOMAXPROCS when
+	// <= 0).
+	ColdIndexWorkers int
 	// Pool recycles tuple frames across operators and tasks; one is created
 	// on demand when nil.
 	Pool *frame.Pool
@@ -63,11 +72,12 @@ func (e *Env) pool() *frame.Pool {
 	return e.Pool
 }
 
-func (e *Env) morselSize() int64 {
-	if e.MorselSize > 0 {
-		return e.MorselSize
+func (e *Env) morselOpts() morselOptions {
+	return morselOptions{
+		morselSize:       e.MorselSize,
+		coldIndexMin:     e.ColdIndexMinBytes,
+		coldIndexWorkers: e.ColdIndexWorkers,
 	}
-	return DefaultMorselSize
 }
 
 // buildScanQueues prepares one morsel queue per scan fragment (pruning
@@ -84,7 +94,7 @@ func buildScanQueues(job *Job, env *Env, shared bool) (map[int]*morselQueue, int
 		if !ok {
 			continue
 		}
-		q, sk, err := buildMorselQueue(env.Source, s, env.Indexes, f.Partitions, env.morselSize(), shared)
+		q, sk, err := buildMorselQueue(env.Source, s, env.Indexes, f.Partitions, env.morselOpts(), shared)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -386,7 +396,7 @@ func runScan(ctx *TaskCtx, s ScanSource, partitions int, w Writer) error {
 			skipped int64
 			err     error
 		)
-		q, skipped, err = buildMorselQueue(ctx.RT.Source, s, ctx.RT.Indexes, partitions, 0, false)
+		q, skipped, err = buildMorselQueue(ctx.RT.Source, s, ctx.RT.Indexes, partitions, morselOptions{}, false)
 		if err != nil {
 			return err
 		}

@@ -2,9 +2,11 @@ package hyracks
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync/atomic"
 
+	"vxq/internal/jsonparse"
 	"vxq/internal/runtime"
 )
 
@@ -13,6 +15,31 @@ import (
 // byte ranges, so one oversized file no longer serializes onto a single
 // partition (the skew problem of static file striding).
 const DefaultMorselSize int64 = 4 << 20
+
+// DefaultColdIndexMinBytes is the file size at which a cold scan — a
+// raw-JSON file with no recorded record-boundary index — runs the
+// speculative parallel indexer at queue-build time to compute exact splits
+// before cutting morsels. Below it the probe-and-realign fallback is cheap
+// enough that the extra phase-1 pass isn't worth scheduling.
+const DefaultColdIndexMinBytes int64 = 32 << 20
+
+// coldIndexSplitGrain is the record-start sampling granularity of the
+// cold-scan boundary pass. It matches the zone-map build's default
+// (index.DefaultSplitGrain) so recorded cold-scan indexes are
+// indistinguishable from build-time ones.
+const coldIndexSplitGrain int64 = 4 << 10
+
+// morselOptions bundles the tuning knobs of a morsel-queue build.
+type morselOptions struct {
+	// morselSize is the byte-range granularity (DefaultMorselSize when <= 0).
+	morselSize int64
+	// coldIndexMin gates the cold-scan boundary pass
+	// (DefaultColdIndexMinBytes when 0, disabled when negative).
+	coldIndexMin int64
+	// coldIndexWorkers is the parallel indexer's worker count (GOMAXPROCS
+	// when <= 0).
+	coldIndexWorkers int
+}
 
 // morsel is one unit of scan work: a byte range of one file. A record whose
 // line start (the offset just past the '\n' preceding it, or offset 0)
@@ -105,10 +132,12 @@ func (q *morselQueue) take(partition int) (m morsel, stolen, ok bool) {
 // out, and splits the survivors into morsels. Raw-JSON files are split when
 // the source can report their size and reopen them at an offset; everything
 // else (binary ADM documents, sources without range support) degrades to one
-// whole-file morsel, which is exactly the pre-morsel behaviour. It returns
-// the queue and the number of files pruned.
+// whole-file morsel, which is exactly the pre-morsel behaviour. Large files
+// with no recorded boundary index get one from the speculative parallel
+// indexer at build time (see coldIndexSplits). It returns the queue and the
+// number of files pruned.
 func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
-	partitions int, morselSize int64, shared bool) (*morselQueue, int64, error) {
+	partitions int, opts morselOptions, shared bool) (*morselQueue, int64, error) {
 	if src == nil {
 		return nil, 0, fmt.Errorf("hyracks: scan without a data source")
 	}
@@ -116,6 +145,7 @@ func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
 	if err != nil {
 		return nil, 0, err
 	}
+	morselSize := opts.morselSize
 	if morselSize <= 0 {
 		morselSize = DefaultMorselSize
 	}
@@ -139,6 +169,9 @@ func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
 				var splits []int64
 				if sl, ok := idx.(runtime.SplitLookup); ok {
 					splits, _ = sl.FileSplits(s.Collection, file)
+				}
+				if len(splits) == 0 {
+					splits = coldIndexSplits(src, s.Collection, file, size, idx, opts)
 				}
 				if len(splits) > 0 {
 					morsels = appendAlignedMorsels(morsels, file, size, morselSize, splits)
@@ -189,4 +222,42 @@ func appendAlignedMorsels(morsels []morsel, file string, size, morselSize int64,
 		prev = b
 	}
 	return append(morsels, morsel{file: file, start: prev, end: size, first: prev == 0, aligned: prev != 0})
+}
+
+// coldIndexSplits computes the record-boundary index of one cold file — a
+// raw-JSON file big enough to morsel-split but with no splits on record —
+// by running the speculative parallel indexer's phase 1 over the file's byte
+// ranges. The result is recorded back through the index registry when it
+// implements runtime.SplitRecorder, so only the first scan of a file pays;
+// every later queue build finds the splits via the ordinary SplitLookup.
+// Any failure (or a source without range reads) degrades to nil and the
+// caller falls back to nominal cuts with probe-based re-alignment —
+// alignment is an optimization, never a correctness dependency.
+func coldIndexSplits(src runtime.Source, collection, file string, size int64,
+	idx runtime.IndexLookup, opts morselOptions) []int64 {
+	min := opts.coldIndexMin
+	if min < 0 {
+		return nil
+	}
+	if min == 0 {
+		min = DefaultColdIndexMinBytes
+	}
+	if size < min {
+		return nil
+	}
+	ro, ok := src.(runtime.RangeOpener)
+	if !ok {
+		return nil
+	}
+	pi := jsonparse.ParallelIndexer{Workers: opts.coldIndexWorkers}
+	splits, err := pi.SplitsRange(func(off int64) (io.ReadCloser, error) {
+		return ro.OpenRange(file, off)
+	}, size, coldIndexSplitGrain, 0)
+	if err != nil || len(splits) == 0 {
+		return nil
+	}
+	if rec, ok := idx.(runtime.SplitRecorder); ok {
+		rec.RecordFileSplits(collection, file, splits)
+	}
+	return splits
 }

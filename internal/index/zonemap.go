@@ -31,6 +31,12 @@ import (
 // record starts.
 const DefaultSplitGrain int64 = 4 << 10
 
+// DefaultParallelMinBytes is the file size at which a zone-map build hands
+// the boundary pass to the speculative parallel indexer instead of teeing
+// the stats scan through a sequential BoundaryScanner. Below it the extra
+// range opens cost more than the parallelism returns.
+const DefaultParallelMinBytes int64 = 8 << 20
+
 // FileStats is the zone-map entry of one file.
 type FileStats struct {
 	// Min and Max bound the values found at the indexed path (nil when the
@@ -53,6 +59,34 @@ type ZoneMap struct {
 	Splits map[string][]int64
 }
 
+// BuildOptions tunes a zone-map build. The zero value is the default build:
+// sequential boundary pass teed under the stats scan for small files, the
+// speculative parallel indexer for large range-readable ones.
+type BuildOptions struct {
+	// SplitGrain is the record-boundary sampling granularity
+	// (DefaultSplitGrain when 0, every record start when negative — the
+	// latter is meant for tests).
+	SplitGrain int64
+	// Workers is the worker count of the parallel boundary pass
+	// (GOMAXPROCS when <= 0).
+	Workers int
+	// ParallelMinBytes is the file size at which the boundary pass goes
+	// parallel, provided the source supports OpenRange and Size
+	// (DefaultParallelMinBytes when 0; negative disables the parallel pass
+	// entirely).
+	ParallelMinBytes int64
+}
+
+func (o BuildOptions) splitGrain() int64 {
+	if o.SplitGrain == 0 {
+		return DefaultSplitGrain
+	}
+	if o.SplitGrain < 0 {
+		return 0
+	}
+	return o.SplitGrain
+}
+
 // Build scans every file of the collection once and records the per-file
 // min/max of the items the path yields. Files are read with the same record
 // model DATASCAN uses — a concatenated stream of top-level values (NDJSON,
@@ -60,31 +94,49 @@ type ZoneMap struct {
 // exactly the records a scan of the file would emit. Non-scalar items
 // (objects, arrays) are rejected: zone maps index scalar paths.
 func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap, error) {
+	zms, err := BuildWith(src, collection, []jsonparse.Path{path}, BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return zms[0], nil
+}
+
+// BuildWith builds one zone map per path over a single scan of the
+// collection: every file is read once, its record items feed the min/max
+// stats of every path, and one boundary pass — the speculative parallel
+// indexer for large range-readable files, a sequential BoundaryScanner teed
+// under the stats scan otherwise — serves all of them. The returned maps
+// share one Splits table per collection (splits are a property of the file
+// bytes, not of the indexed path). With a single path the stats pass is the
+// streaming projected scan (nothing off the path is materialized); with
+// several, each record is parsed once and every path is applied to it.
+func BuildWith(src runtime.Source, collection string, paths []jsonparse.Path, opts BuildOptions) ([]*ZoneMap, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("index: no paths to build")
+	}
 	files, err := src.Files(collection)
 	if err != nil {
 		return nil, err
 	}
-	zm := &ZoneMap{
-		Collection: collection,
-		Path:       append(jsonparse.Path(nil), path...),
-		Files:      make(map[string]FileStats, len(files)),
-		Splits:     make(map[string][]int64, len(files)),
+	splits := make(map[string][]int64, len(files))
+	zms := make([]*ZoneMap, len(paths))
+	for i, p := range paths {
+		zms[i] = &ZoneMap{
+			Collection: collection,
+			Path:       append(jsonparse.Path(nil), p...),
+			Files:      make(map[string]FileStats, len(files)),
+			Splits:     splits,
+		}
 	}
 	for _, f := range files {
-		rc, err := src.Open(f)
-		if err != nil {
-			return nil, fmt.Errorf("index: %s: %w", f, err)
-		}
-		var st FileStats
-		bs := jsonparse.NewBoundaryScanner(DefaultSplitGrain)
-		tee := io.TeeReader(rc, bs)
-		lx := jsonparse.NewStreamLexerAt(tee, jsonparse.DefaultChunkSize, 0)
-		_, err = jsonparse.ScanValues(lx, path, -1, func(it item.Item) error {
+		stats := make([]FileStats, len(paths))
+		observe := func(pathIdx int, it item.Item) error {
 			switch it.Kind() {
 			case item.KindObject, item.KindArray:
 				return fmt.Errorf("path %s yields a %s; zone maps index scalar paths",
-					path, it.Kind())
+					paths[pathIdx], it.Kind())
 			}
+			st := &stats[pathIdx]
 			if st.Count == 0 {
 				st.Min, st.Max = it, it
 			} else {
@@ -97,31 +149,112 @@ func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap
 			}
 			st.Count++
 			return nil
-		})
+		}
+
+		// Boundary pass: parallel phase 1 up front when the file is large
+		// and range-readable, otherwise a sequential scanner teed under the
+		// stats scan below.
+		fileSplits, parallel, err := parallelFileSplits(src, f, opts)
+		if err != nil {
+			return nil, fmt.Errorf("index: %s: %w", f, err)
+		}
+
+		rc, err := src.Open(f)
+		if err != nil {
+			return nil, fmt.Errorf("index: %s: %w", f, err)
+		}
+		var r io.Reader = rc
+		var bs *jsonparse.BoundaryScanner
+		if !parallel {
+			bs = jsonparse.NewBoundaryScanner(opts.splitGrain())
+			r = io.TeeReader(rc, bs)
+		}
+		lx := jsonparse.NewStreamLexerAt(r, jsonparse.DefaultChunkSize, 0)
+		if len(paths) == 1 {
+			_, err = jsonparse.ScanValues(lx, paths[0], -1, func(it item.Item) error {
+				return observe(0, it)
+			})
+		} else {
+			_, err = jsonparse.ScanValues(lx, nil, -1, func(record item.Item) error {
+				for i, p := range paths {
+					for _, it := range jsonparse.ApplyPath(record, p) {
+						if err := observe(i, it); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+		}
 		if cerr := rc.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			return nil, fmt.Errorf("index: %s: %w", f, err)
 		}
-		bs.Close()
-		zm.Files[f] = st
-		if sp := bs.Splits(); len(sp) > 0 {
-			zm.Splits[f] = sp
+		if bs != nil {
+			bs.Close()
+			fileSplits = bs.Splits()
+		}
+		for i := range zms {
+			zms[i].Files[f] = stats[i]
+		}
+		if len(fileSplits) > 0 {
+			splits[f] = fileSplits
 		}
 	}
-	return zm, nil
+	return zms, nil
 }
 
-// Registry holds the zone maps of an engine, keyed by collection and path.
-// It implements runtime.IndexLookup. Safe for concurrent use.
+// parallelFileSplits builds the boundary index of one file with the
+// speculative parallel indexer, when the build options and the source's
+// capabilities allow it. ok reports whether the parallel pass ran (false
+// means the caller should fall back to the sequential tee).
+func parallelFileSplits(src runtime.Source, file string, opts BuildOptions) (splits []int64, ok bool, err error) {
+	if opts.ParallelMinBytes < 0 {
+		return nil, false, nil
+	}
+	min := opts.ParallelMinBytes
+	if min == 0 {
+		min = DefaultParallelMinBytes
+	}
+	ro, canRange := src.(runtime.RangeOpener)
+	sz, canSize := src.(runtime.Sizer)
+	if !canRange || !canSize {
+		return nil, false, nil
+	}
+	size, err := sz.Size(file)
+	if err != nil || size < min {
+		return nil, false, nil
+	}
+	pi := jsonparse.ParallelIndexer{Workers: opts.Workers}
+	splits, err = pi.SplitsRange(func(off int64) (io.ReadCloser, error) {
+		return ro.OpenRange(file, off)
+	}, size, opts.splitGrain(), 0)
+	if err != nil {
+		return nil, false, err
+	}
+	return splits, true, nil
+}
+
+// Registry holds the zone maps of an engine, keyed by collection and path,
+// plus boundary indexes recorded outside any zone-map build (cold scans
+// record the splits their parallel phase 1 computes, so later scans skip the
+// work). It implements runtime.IndexLookup, runtime.SplitLookup and
+// runtime.SplitRecorder. Safe for concurrent use.
 type Registry struct {
-	mu   sync.RWMutex
-	maps map[string]*ZoneMap
+	mu     sync.RWMutex
+	maps   map[string]*ZoneMap
+	splits map[string]map[string][]int64 // collection -> file -> record starts
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{maps: map[string]*ZoneMap{}} }
+func NewRegistry() *Registry {
+	return &Registry{
+		maps:   map[string]*ZoneMap{},
+		splits: map[string]map[string][]int64{},
+	}
+}
 
 func key(collection string, path jsonparse.Path) string {
 	return collection + "\x00" + path.String()
@@ -151,12 +284,16 @@ func (r *Registry) FileRange(collection string, path jsonparse.Path, file string
 }
 
 // FileSplits implements runtime.SplitLookup: it reports the sampled
-// record-start offsets of one file if any registered zone map of the
-// collection carries them. Splits are a property of the file bytes, not of
-// the indexed path, so any map of the collection serves.
+// record-start offsets of one file if a recorded boundary index or any
+// registered zone map of the collection carries them. Splits are a property
+// of the file bytes, not of the indexed path, so any map of the collection
+// serves.
 func (r *Registry) FileSplits(collection, file string) ([]int64, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if sp, ok := r.splits[collection][file]; ok && len(sp) > 0 {
+		return sp, true
+	}
 	for _, zm := range r.maps {
 		if zm.Collection != collection {
 			continue
@@ -166,6 +303,23 @@ func (r *Registry) FileSplits(collection, file string) ([]int64, bool) {
 		}
 	}
 	return nil, false
+}
+
+// RecordFileSplits implements runtime.SplitRecorder: it stores a boundary
+// index computed outside a zone-map build — the cold-scan parallel phase 1 —
+// so subsequent scans of the same file get exact morsel splits for free.
+func (r *Registry) RecordFileSplits(collection, file string, splits []int64) {
+	if len(splits) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.splits[collection]
+	if m == nil {
+		m = map[string][]int64{}
+		r.splits[collection] = m
+	}
+	m[file] = splits
 }
 
 // Len reports the number of registered zone maps.

@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"vxq/internal/gen"
@@ -187,5 +188,183 @@ func TestBuildNDJSONWithSplits(t *testing.T) {
 	}
 	if _, ok := reg.FileSplits("/nd", "nope.json"); ok {
 		t.Error("wrong file should miss")
+	}
+}
+
+// ndjsonCorpus builds an in-memory NDJSON collection with strings that
+// exercise the speculative indexer's hard cases: escaped quotes, backslash
+// runs, and record lengths that put quotes and escapes at arbitrary offsets
+// relative to chunk boundaries.
+func ndjsonCorpus(files, records int) *runtime.MemSource {
+	docs := map[string][]byte{}
+	for f := 0; f < files; f++ {
+		var data []byte
+		for i := 0; i < records; i++ {
+			pad := make([]byte, 37+(i*13)%211)
+			for j := range pad {
+				pad[j] = byte('a' + (i+j)%26)
+			}
+			rec := fmt.Sprintf(
+				`{"root":[{"results":[{"date":"2013-12-%02dT00:00","value":%d,"note":"esc\\%s quote \" brace { %s"}]}]}`,
+				1+i%28, (i*7)%100, string(pad[:1+i%3]), string(pad))
+			data = append(data, rec...)
+			data = append(data, '\n')
+		}
+		docs[fmt.Sprintf("part-%d.json", f)] = data
+	}
+	return &runtime.MemSource{Collections: map[string]map[string][]byte{"/nd": docs}}
+}
+
+// TestParallelBuildSplitsIdentical is the CI smoke gate for the speculative
+// parallel boundary pass: on an NDJSON corpus, a Build forced through the
+// parallel indexer must produce the same ZoneMap — stats and Splits,
+// byte-for-byte — as a Build with the parallel pass disabled.
+func TestParallelBuildSplitsIdentical(t *testing.T) {
+	src := ndjsonCorpus(3, 400)
+	valuePath := jsonparse.Path{
+		jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("results"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("value"),
+	}
+	for _, grain := range []int64{-1, 256, 4 << 10} {
+		seq, err := BuildWith(src, "/nd", []jsonparse.Path{valuePath},
+			BuildOptions{SplitGrain: grain, ParallelMinBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := BuildWith(src, "/nd", []jsonparse.Path{valuePath},
+			BuildOptions{SplitGrain: grain, ParallelMinBytes: 1, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files, _ := src.Files("/nd")
+		for _, f := range files {
+			ss, ps := seq[0].Splits[f], par[0].Splits[f]
+			if len(ss) == 0 {
+				t.Fatalf("grain %d: %s: sequential build recorded no splits", grain, f)
+			}
+			if len(ss) != len(ps) {
+				t.Fatalf("grain %d: %s: splits %d (seq) vs %d (par)", grain, f, len(ss), len(ps))
+			}
+			for i := range ss {
+				if ss[i] != ps[i] {
+					t.Fatalf("grain %d: %s: split[%d] = %d (seq) vs %d (par)", grain, f, i, ss[i], ps[i])
+				}
+			}
+			sst, pst := seq[0].Files[f], par[0].Files[f]
+			if sst.Count != pst.Count || item.Compare(sst.Min, pst.Min) != 0 || item.Compare(sst.Max, pst.Max) != 0 {
+				t.Fatalf("grain %d: %s: stats diverge: %+v vs %+v", grain, f, sst, pst)
+			}
+		}
+	}
+}
+
+// countingSource wraps a Source and counts Open calls per file. Embedding
+// hides the optional RangeOpener/Sizer capabilities, which also pins the
+// build to the sequential tee path.
+type countingSource struct {
+	runtime.Source
+	opens map[string]int
+}
+
+func (c *countingSource) Open(path string) (io.ReadCloser, error) {
+	c.opens[path]++
+	return c.Source.Open(path)
+}
+
+// TestBuildWithSharedScan: one BuildWith over several paths must read every
+// file exactly once and produce, per path, the same zone map a dedicated
+// Build would.
+func TestBuildWithSharedScan(t *testing.T) {
+	mem := ndjsonCorpus(2, 120)
+	paths := []jsonparse.Path{
+		{jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+			jsonparse.KeyStep("results"), jsonparse.MembersStep(), jsonparse.KeyStep("value")},
+		{jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+			jsonparse.KeyStep("results"), jsonparse.MembersStep(), jsonparse.KeyStep("date")},
+	}
+	cs := &countingSource{Source: mem, opens: map[string]int{}}
+	zms, err := BuildWith(cs, "/nd", paths, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zms) != len(paths) {
+		t.Fatalf("zone maps = %d, want %d", len(zms), len(paths))
+	}
+	files, _ := mem.Files("/nd")
+	for _, f := range files {
+		if cs.opens[f] != 1 {
+			t.Errorf("%s opened %d times, want 1 (shared scan)", f, cs.opens[f])
+		}
+	}
+	for i, p := range paths {
+		solo, err := Build(mem, "/nd", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !zms[i].Path.Equal(p) {
+			t.Errorf("zms[%d].Path = %s, want %s", i, zms[i].Path, p)
+		}
+		for _, f := range files {
+			got, want := zms[i].Files[f], solo.Files[f]
+			if got.Count != want.Count || item.Compare(got.Min, want.Min) != 0 ||
+				item.Compare(got.Max, want.Max) != 0 {
+				t.Errorf("path %s, %s: shared %+v vs solo %+v", p, f, got, want)
+			}
+			ss, ws := zms[i].Splits[f], solo.Splits[f]
+			if len(ss) != len(ws) {
+				t.Errorf("path %s, %s: splits %d vs %d", p, f, len(ss), len(ws))
+			}
+		}
+	}
+	// The returned maps share one Splits table: a write through one is
+	// visible through the other.
+	zms[0].Splits["sentinel"] = []int64{1}
+	if _, ok := zms[1].Splits["sentinel"]; !ok {
+		t.Error("zone maps of one BuildWith must share the Splits table")
+	}
+	// Multi-path builds inherit the scalar-path check.
+	objPath := jsonparse.Path{jsonparse.KeyStep("root"), jsonparse.MembersStep()}
+	if _, err := BuildWith(mem, "/nd", []jsonparse.Path{paths[0], objPath}, BuildOptions{}); err == nil {
+		t.Error("object path must be rejected in a multi-path build")
+	}
+	if _, err := BuildWith(mem, "/nd", nil, BuildOptions{}); err == nil {
+		t.Error("empty path list must be rejected")
+	}
+}
+
+// TestRecordFileSplits: a recorded boundary index is served by FileSplits,
+// takes precedence over zone-map splits for the same file, and an empty
+// recording is a no-op.
+func TestRecordFileSplits(t *testing.T) {
+	reg := NewRegistry()
+	if _, ok := reg.FileSplits("/c", "f.json"); ok {
+		t.Fatal("empty registry should miss")
+	}
+	reg.RecordFileSplits("/c", "f.json", nil)
+	if _, ok := reg.FileSplits("/c", "f.json"); ok {
+		t.Fatal("empty recording must be a no-op")
+	}
+	reg.RecordFileSplits("/c", "f.json", []int64{128, 256})
+	sp, ok := reg.FileSplits("/c", "f.json")
+	if !ok || len(sp) != 2 || sp[0] != 128 || sp[1] != 256 {
+		t.Fatalf("FileSplits = %v, ok=%v", sp, ok)
+	}
+	// A zone map for the same collection carries different splits for the
+	// same file; the recorded index wins.
+	reg.Add(&ZoneMap{
+		Collection: "/c",
+		Path:       jsonparse.Path{jsonparse.KeyStep("x")},
+		Files:      map[string]FileStats{},
+		Splits:     map[string][]int64{"f.json": {512}, "g.json": {64}},
+	})
+	if sp, _ := reg.FileSplits("/c", "f.json"); len(sp) != 2 || sp[0] != 128 {
+		t.Errorf("recorded splits must take precedence, got %v", sp)
+	}
+	if sp, ok := reg.FileSplits("/c", "g.json"); !ok || len(sp) != 1 || sp[0] != 64 {
+		t.Errorf("zone-map splits must still serve unrecorded files, got %v ok=%v", sp, ok)
+	}
+	if _, ok := reg.FileSplits("/other", "f.json"); ok {
+		t.Error("wrong collection should miss")
 	}
 }

@@ -131,10 +131,60 @@ type BlockMasks struct {
 	CtlInStr   uint64 // unescaped control characters inside strings (errors)
 }
 
+// rawMasks holds the parity-independent byte-classification bitmaps of one
+// 64-byte block: pure character classes, before any escape or string state
+// is applied. The speculative parallel indexer (specidx.go) keeps these raw
+// layers per block so a chunk's masks can be finalized under either
+// in-string parity after stitching.
+type rawMasks struct {
+	quote, bslash, open, close, comma, colon, nl, ctl uint64
+}
+
+// classifyBlock runs the SWAR character classification over one full 64-byte
+// block. b must have at least 64 bytes.
+func classifyBlock(b []byte) (r rawMasks) {
+	_ = b[63]
+	for w := 0; w < 8; w++ {
+		x := binary.LittleEndian.Uint64(b[8*w:])
+		m := x | swarBit5
+		sh := uint(8 * w)
+		r.quote |= packHighBits(zeroLanes(x^swarQuote)) << sh
+		r.bslash |= packHighBits(zeroLanes(x^swarBsl)) << sh
+		r.open |= packHighBits(zeroLanes(m^swarOpen)) << sh
+		r.close |= packHighBits(zeroLanes(m^swarClose)) << sh
+		r.comma |= packHighBits(zeroLanes(x^swarComma)) << sh
+		r.colon |= packHighBits(zeroLanes(x^swarColon)) << sh
+		r.nl |= packHighBits(zeroLanes(x^swarNL)) << sh
+		r.ctl |= packHighBits(zeroLanes(x&swarCtl)) << sh
+	}
+	return r
+}
+
+// derive applies resolved escape and in-string masks to the raw character
+// classes, producing the block's final structural index.
+func (r rawMasks) derive(escaped, inStr uint64) BlockMasks {
+	return BlockMasks{
+		Quote:      r.quote,
+		Backslash:  r.bslash,
+		Escaped:    escaped,
+		InString:   inStr,
+		Structural: (r.open | r.close | r.comma | r.colon) &^ inStr,
+		Open:       r.open &^ inStr,
+		Close:      r.close &^ inStr,
+		Newline:    r.nl &^ inStr,
+		CtlInStr:   r.ctl & inStr &^ escaped,
+	}
+}
+
 // IndexBlock runs phase 1 over one full 64-byte block, emitting every bitmap
 // layer. b must have at least 64 bytes. It is the reference entry point the
 // differential tests and the bitmap-builder benchmark exercise; the skip and
 // string hot loops use slimmer internal variants of the same arithmetic.
+//
+// The classification loop is a fused copy of classifyBlock: the compiler
+// cannot inline that helper (it is over the budget), and paying a call plus
+// a 64-byte struct copy per block costs the sequential builder ~14%, so the
+// one hot sequential entry point keeps its own loop.
 func IndexBlock(b []byte, st *StructState) BlockMasks {
 	var quote, bslash, open, close, comma, colon, nl, ctl uint64
 	_ = b[63]
@@ -154,17 +204,7 @@ func IndexBlock(b []byte, st *StructState) BlockMasks {
 	escaped := st.findEscaped(bslash)
 	inStr := prefixXor(quote&^escaped) ^ st.prevInString
 	st.prevInString = uint64(int64(inStr) >> 63)
-	return BlockMasks{
-		Quote:      quote,
-		Backslash:  bslash,
-		Escaped:    escaped,
-		InString:   inStr,
-		Structural: (open | close | comma | colon) &^ inStr,
-		Open:       open &^ inStr,
-		Close:      close &^ inStr,
-		Newline:    nl &^ inStr,
-		CtlInStr:   ctl & inStr &^ escaped,
-	}
+	return rawMasks{quote, bslash, open, close, comma, colon, nl, ctl}.derive(escaped, inStr)
 }
 
 // stringEventMask flags the bytes of one word that the string scanner must

@@ -247,6 +247,17 @@ type SplitLookup interface {
 	FileSplits(collection, file string) ([]int64, bool)
 }
 
+// SplitRecorder is an optional IndexLookup capability: accepting a
+// record-boundary index computed outside a zone-map build. Cold scans of
+// large files run a speculative parallel phase 1 at scan setup to get exact
+// morsel splits; recording the result makes every later scan of the same
+// file start aligned for free. Implementations must be safe for concurrent
+// use. Offsets must be ascending record starts with string state tracked
+// from offset 0 (the SplitLookup contract).
+type SplitRecorder interface {
+	RecordFileSplits(collection, file string, splits []int64)
+}
+
 // Ctx is the per-task evaluation context shared by the operators of one
 // partition pipeline.
 type Ctx struct {

@@ -86,6 +86,17 @@ type Options struct {
 	// independently schedulable byte ranges, so a handful of oversized files
 	// no longer serializes onto a single partition.
 	MorselSize int64
+	// ColdIndexMinBytes gates the cold-scan boundary pass: a raw JSON file at
+	// least this large with no recorded record-boundary index gets one from
+	// the speculative parallel indexer at scan setup, so even the first scan
+	// of a huge file cuts morsels exactly on record starts (default 32 MiB;
+	// negative disables the pass). The computed index is recorded in the
+	// engine's registry, so only the first scan of a file pays.
+	ColdIndexMinBytes int64
+	// IndexWorkers is the worker count of parallel index passes — the
+	// cold-scan boundary pass and large-file zone-map builds (default
+	// GOMAXPROCS).
+	IndexWorkers int
 	// Staged selects the staged executor (sequential, per-task timing)
 	// instead of the default pipelined (goroutine) executor. Results are
 	// identical.
@@ -143,15 +154,33 @@ func (e *Engine) MountDocs(name string, docs map[string][]byte) { e.docs[name] =
 // direction. The index reflects the collection at build time; rebuild it
 // after the underlying files change.
 func (e *Engine) BuildIndex(collection, path string) error {
-	p, err := jsonparse.ParsePath(path)
+	return e.BuildIndexes(collection, path)
+}
+
+// BuildIndexes builds zone maps over several scalar paths of one collection
+// with a single scan of its files: each file is read once, every path's
+// min/max feeds off the same parsed records, and one boundary pass — the
+// speculative parallel indexer for large files — serves all of the maps.
+func (e *Engine) BuildIndexes(collection string, paths ...string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("vxq: no index paths")
+	}
+	pp := make([]jsonparse.Path, len(paths))
+	for i, s := range paths {
+		p, err := jsonparse.ParsePath(s)
+		if err != nil {
+			return err
+		}
+		pp[i] = p
+	}
+	zms, err := index.BuildWith(e.source(), collection, pp,
+		index.BuildOptions{Workers: e.opts.IndexWorkers})
 	if err != nil {
 		return err
 	}
-	zm, err := index.Build(e.source(), collection, p)
-	if err != nil {
-		return err
+	for _, zm := range zms {
+		e.indexes.Add(zm)
 	}
-	e.indexes.Add(zm)
 	return nil
 }
 
@@ -233,13 +262,15 @@ func (e *Engine) Query(query string) (*Result, error) {
 		return nil, err
 	}
 	env := &hyracks.Env{
-		Source:     e.source(),
-		FrameSize:  e.opts.FrameSize,
-		ChunkSize:  e.opts.ScanChunkSize,
-		Accountant: frame.NewAccountant(e.opts.MemoryLimit),
-		Indexes:    e.indexes,
-		MorselSize: e.opts.MorselSize,
-		Profile:    e.opts.Profile,
+		Source:            e.source(),
+		FrameSize:         e.opts.FrameSize,
+		ChunkSize:         e.opts.ScanChunkSize,
+		Accountant:        frame.NewAccountant(e.opts.MemoryLimit),
+		Indexes:           e.indexes,
+		MorselSize:        e.opts.MorselSize,
+		ColdIndexMinBytes: e.opts.ColdIndexMinBytes,
+		ColdIndexWorkers:  e.opts.IndexWorkers,
+		Profile:           e.opts.Profile,
 	}
 	var res *hyracks.Result
 	if e.opts.Staged {

@@ -239,4 +239,52 @@ func TestBuildIndexErrors(t *testing.T) {
 	if err := eng.BuildIndex("/sensors", `("root")()`); err == nil {
 		t.Error("object path must fail")
 	}
+	if err := eng.BuildIndexes("/sensors"); err == nil {
+		t.Error("empty path list must fail")
+	}
+}
+
+// TestBuildIndexesMultiPath: one BuildIndexes call over two paths registers
+// a zone map for each, and queries bounded on either path prune files.
+func TestBuildIndexesMultiPath(t *testing.T) {
+	cfg := gen.Default()
+	cfg.Files = 10
+	cfg.RecordsPerFile = 4
+	cfg.MeasurementsPerArray = 10
+	cfg.PartitionByYear = true
+	docs, _, err := cfg.InMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{Partitions: 2})
+	eng.MountDocs("/sensors", docs)
+	err = eng.BuildIndexes("/sensors",
+		`("root")()("results")()("date")`,
+		`("root")()("results")()("value")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(`
+		for $r in collection("/sensors")("root")()("results")()("date")
+		where $r ge "2005-01-01" and $r lt "2006-01-01"
+		return $r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FilesSkipped != 9 {
+		t.Errorf("date-bounded query: files skipped = %d, want 9", res.Stats.FilesSkipped)
+	}
+	if len(res.Items) == 0 {
+		t.Fatal("date-bounded query returned nothing; bad test setup")
+	}
+	res, err = eng.Query(`
+		for $v in collection("/sensors")("root")()("results")()("value")
+		where $v gt 10000000
+		return $v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FilesSkipped == 0 {
+		t.Error("value-bounded impossible predicate skipped no files; second map not registered")
+	}
 }
