@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-query bench-smoke fuzz-smoke profile-smoke fmt vet
+.PHONY: all build test race bench bench-query bench-cache bench-smoke fuzz-smoke profile-smoke fmt vet
 
 all: build test
 
@@ -37,6 +37,15 @@ bench:
 # BENCH_query.json. TestQueryKernelBounds pins the committed bounds.
 bench-query:
 	$(GO) run ./cmd/benchscan -query -out BENCH_query.json
+
+# bench-cache measures cold vs warm repeated queries across the persistence
+# layers — structural-index sidecars, the compiled-plan cache, the result
+# cache — writing BENCH_cache.json. The run itself enforces the acceptance
+# gates (warm >= 3x cold, zero index rebuilds on sidecar-warm scans, morsel
+# skips on the selective case) and fails if any regresses;
+# TestCacheBenchSmoke runs the same gates in-process at a reduced scale.
+bench-cache:
+	$(GO) run ./cmd/benchscan -cache -out BENCH_cache.json
 
 # bench-smoke is the CI guard: every benchmark must still run (one
 # iteration), catching bit-rot in the harness without burning CI minutes.

@@ -6,13 +6,17 @@
 // token-level reference) on the project-1-field and skip-whole-record
 // shapes, writing BENCH_parse.json. With -query it measures the binary
 // tuple kernel (encoded-key group-by, hash shuffle, hash join vs the eager
-// reference), writing BENCH_query.json.
+// reference), writing BENCH_query.json. With -cache it measures cold versus
+// warm latency of repeated queries over an on-disk collection — structural
+// index sidecars, the compiled-plan cache and the result cache — writing
+// BENCH_cache.json (and failing if any cache-layer acceptance gate fails).
 //
 // Usage:
 //
 //	benchscan [-full] [-partitions 8] [-runs 3] [-out BENCH_scan.json]
 //	benchscan -parse [-parsedur 1s] [-workers 1,2,4,8] [-out BENCH_parse.json]
 //	benchscan -query [-querytuples 200000] [-querydur 1s] [-out BENCH_query.json]
+//	benchscan -cache [-cacherepeats 32] [-cacheconc 4] [-out BENCH_cache.json]
 package main
 
 import (
@@ -60,7 +64,20 @@ func main() {
 	query := flag.Bool("query", false, "measure the binary tuple kernel (group-by/shuffle/join) instead of the scan scheduler")
 	queryDur := flag.Duration("querydur", time.Second, "minimum timed duration per query-kernel configuration")
 	queryTuples := flag.Int("querytuples", 200_000, "input tuples per query-kernel shape")
+	cache := flag.Bool("cache", false, "measure cold vs warm repeated queries (sidecars + plan/result caches) instead of the scan scheduler")
+	cacheRepeats := flag.Int("cacherepeats", 32, "timed warm executions per query (with -cache)")
+	cacheConc := flag.Int("cacheconc", 4, "goroutines sharing the warm engine (with -cache)")
 	flag.Parse()
+
+	if *cache {
+		if *out == "" {
+			*out = "BENCH_cache.json"
+		}
+		if err := runCacheBench(*out, *cacheRepeats, *cacheConc); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *parse {
 		if *out == "" {

@@ -58,6 +58,11 @@ func run() error {
 	profile := fs.Bool("profile", false, "print the per-operator execution profile to stderr (runs the staged executor so operator self-times account for the job wall)")
 	trace := fs.String("trace", "", "write the machine-readable JSON profile trace to this file (implies profiling)")
 	morselKB := fs.Int64("morsel-kb", 0, "scan morsel size in KiB (0 = default 4 MiB); large files split into byte-range morsels")
+	coldIndexKB := fs.Int64("cold-index-kb", 0, "smallest file (KiB) whose first cold scan runs the boundary-index pass and persists a sidecar (0 = default 32 MiB)")
+	cacheDir := fs.String("cache-dir", "", "directory for persistent structural-index sidecars (default: next to each data file)")
+	noSidecars := fs.Bool("no-sidecars", false, "disable persistent index sidecars (in-memory indexes only)")
+	repeat := fs.Int("repeat", 1, "run the query this many times (warm runs exercise the plan/result caches and sidecars)")
+	resultCacheKB := fs.Int64("result-cache-kb", 0, "result cache budget in KiB (0 = disabled); only useful with -repeat")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -83,6 +88,10 @@ func run() error {
 		DisablePipeliningRules: *noPipe,
 		DisableGroupByRules:    *noGroup,
 		MorselSize:             *morselKB << 10,
+		ColdIndexMinBytes:      *coldIndexKB << 10,
+		CacheDir:               *cacheDir,
+		DisableSidecars:        *noSidecars,
+		ResultCacheBytes:       *resultCacheKB << 10,
 		Profile:                *profile || *trace != "",
 		// -profile renders per-operator self times that should sum to the
 		// job wall; only the staged executor gives that accounting (the
@@ -107,9 +116,16 @@ func run() error {
 		return nil
 	}
 
-	res, err := eng.Query(query)
-	if err != nil {
-		return err
+	var res *vxq.Result
+	for i := 0; i < *repeat; i++ {
+		r, err := eng.Query(query)
+		if err != nil {
+			return err
+		}
+		res = r
+	}
+	if res == nil {
+		return fmt.Errorf("-repeat must be >= 1")
 	}
 	for _, it := range res.Items {
 		fmt.Println(vxq.JSON(it))
@@ -118,6 +134,11 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "items: %d  files: %d  bytes read: %d  tuples: %d  shuffled: %d  peak memory: %d\n",
 			len(res.Items), res.Stats.FilesRead, res.Stats.BytesRead,
 			res.Stats.TuplesProduced, res.Stats.BytesShuffled, res.PeakMemory)
+		cs := eng.CacheStats()
+		fmt.Fprintf(os.Stderr, "cache: plan hit=%v result hit=%v  files skipped: %d  morsels skipped: %d  cold index builds: %d  sidecars loaded/written: %d/%d\n",
+			res.Cache.PlanHit, res.Cache.ResultHit,
+			res.Stats.FilesSkipped, res.Stats.MorselsSkipped, res.Stats.ColdIndexBuilds,
+			cs.SidecarLoads, cs.SidecarWrites)
 	}
 	if *profile && res.Profile != nil {
 		fmt.Fprint(os.Stderr, res.Profile.String())

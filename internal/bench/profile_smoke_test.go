@@ -19,7 +19,7 @@ var profileSpanKeys = []string{
 	"frames_out", "tuples_out", "bytes_out",
 	"frames_forwarded", "frames_rebuilt",
 	"mem_peak", "hash_collisions", "arena_bytes",
-	"morsels", "morsel_steals",
+	"morsels", "morsel_steals", "morsels_skipped",
 }
 
 // TestProfileSmoke runs the paper's Q0, Q1 and Q2 end to end with profiling

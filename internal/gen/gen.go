@@ -50,6 +50,13 @@ type Config struct {
 	// scans can split into byte ranges on record boundaries. Workload
 	// results are identical because every query unnests the root array.
 	SplitRecords bool
+	// ClusterDates orders each file's records by date: record r's base
+	// month/day advance monotonically with r instead of drawing from the
+	// PRNG (and the Dec-25 pinning is off). Byte position within a file
+	// then correlates with the date path, so per-zone min/max stats of a
+	// date index are selective and a narrow date predicate prunes most of
+	// a file's morsels — the shape the morsel-skip benchmarks need.
+	ClusterDates bool
 }
 
 // Default returns a small but representative configuration.
@@ -95,7 +102,7 @@ func (c Config) File(idx int) []byte {
 	if c.SplitRecords {
 		for r := 0; r < c.RecordsPerFile; r++ {
 			b = append(b, `{"root":[`...)
-			b = c.appendRecord(b, rng, idx)
+			b = c.appendRecord(b, rng, idx, r)
 			b = append(b, "]}\n"...)
 		}
 		return b
@@ -105,7 +112,7 @@ func (c Config) File(idx int) []byte {
 		if r > 0 {
 			b = append(b, ',')
 		}
-		b = c.appendRecord(b, rng, idx)
+		b = c.appendRecord(b, rng, idx, r)
 	}
 	b = append(b, `]}`...)
 	return b
@@ -114,7 +121,7 @@ func (c Config) File(idx int) []byte {
 // appendRecord writes one {"metadata":...,"results":[...]} record. Each
 // record covers a run of consecutive days for one station; TMIN/TMAX pairs
 // are emitted for the same (station, date) so the self-join matches.
-func (c Config) appendRecord(b []byte, rng *rand.Rand, fileIdx int) []byte {
+func (c Config) appendRecord(b []byte, rng *rand.Rand, fileIdx, recIdx int) []byte {
 	station := fmt.Sprintf("GSW%06d", rng.Intn(c.Stations))
 	year := c.YearMin + rng.Intn(c.YearMax-c.YearMin+1)
 	if c.PartitionByYear {
@@ -127,6 +134,11 @@ func (c Config) appendRecord(b []byte, rng *rand.Rand, fileIdx int) []byte {
 	// 8th record is pinned to Dec 25 so small datasets are never empty.
 	if rng.Intn(8) == 0 {
 		month, day = 12, 25
+	}
+	if c.ClusterDates {
+		// Sweep the 12*28-day grid monotonically across the file's records.
+		dayIdx := recIdx * (12 * 28) / c.RecordsPerFile
+		month, day = 1+dayIdx/28, 1+dayIdx%28
 	}
 	b = append(b, `{"metadata":{"count":`...)
 	b = strconv.AppendInt(b, int64(c.MeasurementsPerArray), 10)

@@ -81,13 +81,13 @@ func (e *Env) morselOpts() morselOptions {
 }
 
 // buildScanQueues prepares one morsel queue per scan fragment (pruning
-// zone-map-excluded files as a side effect) so every task of a fragment
-// drains the same queue. It returns the queues and the total number of
-// pruned files.
-func buildScanQueues(job *Job, env *Env, shared bool) (map[int]*morselQueue, int64, error) {
+// zone-map-excluded files and morsels as a side effect) so every task of a
+// fragment drains the same queue. It returns the queues and the merged
+// pruning/cold-index counters.
+func buildScanQueues(job *Job, env *Env, shared bool) (map[int]*morselQueue, queueStats, error) {
 	var (
-		queues  map[int]*morselQueue
-		skipped int64
+		queues map[int]*morselQueue
+		qs     queueStats
 	)
 	for _, f := range job.Fragments {
 		s, ok := f.Source.(ScanSource)
@@ -96,15 +96,15 @@ func buildScanQueues(job *Job, env *Env, shared bool) (map[int]*morselQueue, int
 		}
 		q, sk, err := buildMorselQueue(env.Source, s, env.Indexes, f.Partitions, env.morselOpts(), shared)
 		if err != nil {
-			return nil, 0, err
+			return nil, queueStats{}, err
 		}
 		if queues == nil {
 			queues = make(map[int]*morselQueue)
 		}
 		queues[f.ID] = q
-		skipped += sk
+		qs.add(sk)
 	}
-	return queues, skipped, nil
+	return queues, qs, nil
 }
 
 // TaskTime records the measured wall-clock work of one fragment-partition
@@ -393,15 +393,17 @@ func runScan(ctx *TaskCtx, s ScanSource, partitions int, w Writer) error {
 	q := ctx.morsels
 	if q == nil {
 		var (
-			skipped int64
-			err     error
+			qs  queueStats
+			err error
 		)
-		q, skipped, err = buildMorselQueue(ctx.RT.Source, s, ctx.RT.Indexes, partitions, morselOptions{}, false)
+		q, qs, err = buildMorselQueue(ctx.RT.Source, s, ctx.RT.Indexes, partitions, morselOptions{}, false)
 		if err != nil {
 			return err
 		}
 		if st := ctx.RT.Stats; st != nil {
-			st.FilesSkipped += skipped
+			st.FilesSkipped += qs.filesSkipped
+			st.MorselsSkipped += qs.morselsSkipped
+			st.ColdIndexBuilds += qs.coldIndexBuilds
 		}
 	}
 	sc := &scanState{ctx: ctx, b: newFrameBuilder(ctx, w), field: make([][]byte, 1), seq1: make(item.Sequence, 1)}
@@ -484,7 +486,7 @@ func scanMorsel(ctx *TaskCtx, sc *scanState, s ScanSource, m morsel) error {
 	if err != nil {
 		return err
 	}
-	if st != nil && m.first {
+	if st != nil && m.countsFile {
 		st.FilesRead++
 	}
 	chunk := ctx.RT.ScanChunkSize()

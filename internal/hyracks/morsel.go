@@ -56,13 +56,18 @@ type morsel struct {
 	file  string
 	start int64
 	end   int64 // exclusive ownership limit; -1 = the whole rest of the file
-	first bool  // first morsel of its file (no alignment skip, counts FilesRead)
+	first bool  // first morsel of its file (no alignment skip)
 	// aligned marks a morsel whose start is a known record start (from a
 	// zone-map split index), so the consumer opens at start directly and
 	// skips the probe-byte + SkipPastNewline re-alignment. Ownership is
 	// unchanged: an aligned start is its own line start, so [start, end)
 	// still bounds exactly the records whose line starts fall inside it.
 	aligned bool
+	// countsFile marks the one morsel of its file that increments
+	// Stats.FilesRead. It starts out on the first morsel but moves to the
+	// earliest survivor when zone pruning drops the first — first itself
+	// cannot move, because it also encodes "no alignment skip at start 0".
+	countsFile bool
 }
 
 // wholeFile reports whether the morsel covers its file entirely.
@@ -90,6 +95,9 @@ type morselQueue struct {
 	parts   int
 	cursor  atomic.Int64
 	local   []int // static mode: per-partition count of morsels already taken
+	// skipped is the number of morsels the queue build pruned via per-zone
+	// stats — set once at build time, surfaced by the profiler.
+	skipped int64
 }
 
 func newMorselQueue(morsels []morsel, partitions int, shared bool) *morselQueue {
@@ -128,22 +136,38 @@ func (q *morselQueue) take(partition int) (m morsel, stolen, ok bool) {
 	return q.morsels[i], false, true
 }
 
+// queueStats counts the pruning and cold-index work of a morsel-queue build.
+type queueStats struct {
+	filesSkipped    int64 // files pruned by a file-level zone-map range
+	morselsSkipped  int64 // morsels pruned by per-zone min/max stats
+	coldIndexBuilds int64 // cold-scan structural-index passes run
+}
+
+func (q *queueStats) add(other queueStats) {
+	q.filesSkipped += other.filesSkipped
+	q.morselsSkipped += other.morselsSkipped
+	q.coldIndexBuilds += other.coldIndexBuilds
+}
+
 // buildMorselQueue lists a scan's files, prunes those a zone-map index rules
 // out, and splits the survivors into morsels. Raw-JSON files are split when
 // the source can report their size and reopen them at an offset; everything
 // else (binary ADM documents, sources without range support) degrades to one
 // whole-file morsel, which is exactly the pre-morsel behaviour. Large files
 // with no recorded boundary index get one from the speculative parallel
-// indexer at build time (see coldIndexSplits). It returns the queue and the
-// number of files pruned.
+// indexer at build time (see coldIndexSplits). When the index carries
+// per-zone stats for the filter's path, morsels whose every overlapping zone
+// excludes the predicate are pruned before they are ever scheduled. It
+// returns the queue and the pruning/cold-index counters.
 func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
-	partitions int, opts morselOptions, shared bool) (*morselQueue, int64, error) {
+	partitions int, opts morselOptions, shared bool) (*morselQueue, queueStats, error) {
+	var qs queueStats
 	if src == nil {
-		return nil, 0, fmt.Errorf("hyracks: scan without a data source")
+		return nil, qs, fmt.Errorf("hyracks: scan without a data source")
 	}
 	files, err := src.Files(s.Collection)
 	if err != nil {
-		return nil, 0, err
+		return nil, qs, err
 	}
 	morselSize := opts.morselSize
 	if morselSize <= 0 {
@@ -151,17 +175,19 @@ func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
 	}
 	_, canRange := src.(runtime.RangeOpener)
 	sz, canSize := src.(runtime.Sizer)
-	var (
-		morsels []morsel
-		skipped int64
-	)
+	var zl runtime.ZoneLookup
+	if s.Filter != nil {
+		zl, _ = idx.(runtime.ZoneLookup)
+	}
+	var morsels []morsel
 	for _, file := range files {
 		if s.Filter != nil && idx != nil {
 			if r, ok := idx.FileRange(s.Collection, s.Filter.Path, file); ok && !s.Filter.Admits(r) {
-				skipped++
+				qs.filesSkipped++
 				continue
 			}
 		}
+		base := len(morsels)
 		split := false
 		if s.Format == FormatJSON && canRange && canSize {
 			size, err := sz.Size(file)
@@ -171,7 +197,9 @@ func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
 					splits, _ = sl.FileSplits(s.Collection, file)
 				}
 				if len(splits) == 0 {
-					splits = coldIndexSplits(src, s.Collection, file, size, idx, opts)
+					if splits = coldIndexSplits(src, s.Collection, file, size, idx, opts); splits != nil {
+						qs.coldIndexBuilds++
+					}
 				}
 				if len(splits) > 0 {
 					morsels = appendAlignedMorsels(morsels, file, size, morselSize, splits)
@@ -181,17 +209,88 @@ func buildMorselQueue(src runtime.Source, s ScanSource, idx runtime.IndexLookup,
 						if end > size {
 							end = size
 						}
-						morsels = append(morsels, morsel{file: file, start: off, end: end, first: off == 0})
+						morsels = append(morsels, morsel{file: file, start: off, end: end,
+							first: off == 0, countsFile: off == 0})
 					}
 				}
 				split = true
 			}
 		}
 		if !split {
-			morsels = append(morsels, morsel{file: file, start: 0, end: -1, first: true})
+			morsels = append(morsels, morsel{file: file, start: 0, end: -1, first: true, countsFile: true})
+		}
+		if zl != nil {
+			if zones, ok := zl.FileZones(s.Collection, s.Filter.Path, file); ok {
+				kept := pruneMorsels(morsels[base:], zones, s.Filter)
+				qs.morselsSkipped += int64(len(morsels) - base - kept)
+				morsels = morsels[:base+kept]
+			}
 		}
 	}
-	return newMorselQueue(morsels, partitions, shared), skipped, nil
+	q := newMorselQueue(morsels, partitions, shared)
+	q.skipped = qs.morselsSkipped
+	return q, qs, nil
+}
+
+// pruneMorsels filters one file's morsels in place against the file's
+// per-zone stats, keeping a morsel when any overlapping zone admits the
+// filter — or when part of its range is not covered by any zone (unknown is
+// never pruned). It returns the number of morsels kept. Pruning is sound
+// because zones and morsel ownership share the line-start anchor: every
+// record a morsel [ms, me) owns has its line start, and therefore its zone,
+// inside [ms, me), so if all zones overlapping the range exclude the
+// predicate, no owned record can match. If the file's first morsel is
+// pruned, its FilesRead-counting duty moves to the earliest survivor.
+func pruneMorsels(ms []morsel, zones []runtime.Zone, f *ScanFilter) int {
+	kept := 0
+	droppedCounter := false
+	for _, m := range ms {
+		if morselAdmitted(m, zones, f) {
+			if droppedCounter {
+				m.countsFile = true
+				droppedCounter = false
+			}
+			ms[kept] = m
+			kept++
+		} else if m.countsFile {
+			droppedCounter = true
+		}
+	}
+	return kept
+}
+
+// morselAdmitted reports whether a morsel's byte range can hold a matching
+// record according to the per-zone stats. Zones are ascending and
+// non-overlapping and by the ZoneLookup contract cover [0, fileSize), so
+// the last zone's End is the file size; any byte of the morsel's effective
+// range the zones do not cover counts as unknown and admits the morsel.
+func morselAdmitted(m morsel, zones []runtime.Zone, f *ScanFilter) bool {
+	if len(zones) == 0 {
+		return true
+	}
+	start, end := m.start, m.end
+	size := zones[len(zones)-1].End
+	if end < 0 || end > size {
+		end = size // -1 means "the whole rest of the file"
+	}
+	if start >= end {
+		return true // degenerate range: nothing to reason about, keep it
+	}
+	covered := start
+	i := sort.Search(len(zones), func(i int) bool { return zones[i].End > start })
+	for ; i < len(zones) && zones[i].Start < end; i++ {
+		z := zones[i]
+		if z.Start > covered {
+			return true // gap in coverage: unknown, keep the morsel
+		}
+		if f.Admits(z.Range) {
+			return true
+		}
+		if z.End > covered {
+			covered = z.End
+		}
+	}
+	return covered < end
 }
 
 // appendAlignedMorsels cuts one file on known record starts: each nominal cut
@@ -218,10 +317,12 @@ func appendAlignedMorsels(morsels []morsel, file string, size, morselSize int64,
 		if b >= size {
 			break
 		}
-		morsels = append(morsels, morsel{file: file, start: prev, end: b, first: prev == 0, aligned: prev != 0})
+		morsels = append(morsels, morsel{file: file, start: prev, end: b,
+			first: prev == 0, countsFile: prev == 0, aligned: prev != 0})
 		prev = b
 	}
-	return append(morsels, morsel{file: file, start: prev, end: size, first: prev == 0, aligned: prev != 0})
+	return append(morsels, morsel{file: file, start: prev, end: size,
+		first: prev == 0, countsFile: prev == 0, aligned: prev != 0})
 }
 
 // coldIndexSplits computes the record-boundary index of one cold file — a

@@ -23,7 +23,7 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 	// Shared morsel queues: every task of a scan fragment drains the same
 	// atomic cursor, so partitions steal work from each other and a skewed
 	// file set no longer leaves stragglers.
-	queues, skipped, err := buildScanQueues(job, env, true)
+	queues, qstats, err := buildScanQueues(job, env, true)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +174,9 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	res.Stats.FilesSkipped = skipped
+	res.Stats.FilesSkipped = qstats.filesSkipped
+	res.Stats.MorselsSkipped = qstats.morselsSkipped
+	res.Stats.ColdIndexBuilds = qstats.coldIndexBuilds
 	for _, st := range taskStats {
 		if st != nil {
 			res.Stats.Add(st)

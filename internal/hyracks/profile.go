@@ -73,10 +73,13 @@ type OpMetrics struct {
 	HashCollisions int64 `json:"hash_collisions"`
 	ArenaBytes     int64 `json:"arena_bytes"`
 
-	// Scan sources: morsels processed, and how many of those were steals
-	// (taken off the static round-robin deal by a faster partition).
-	Morsels      int64 `json:"morsels"`
-	MorselSteals int64 `json:"morsel_steals"`
+	// Scan sources: morsels processed, how many of those were steals
+	// (taken off the static round-robin deal by a faster partition), and how
+	// many the queue build pruned via per-zone zone-map stats before they
+	// were ever scheduled.
+	Morsels        int64 `json:"morsels"`
+	MorselSteals   int64 `json:"morsel_steals"`
+	MorselsSkipped int64 `json:"morsels_skipped"`
 }
 
 func (m *OpMetrics) add(o *OpMetrics) {
@@ -96,6 +99,7 @@ func (m *OpMetrics) add(o *OpMetrics) {
 	m.ArenaBytes += o.ArenaBytes
 	m.Morsels += o.Morsels
 	m.MorselSteals += o.MorselSteals
+	m.MorselsSkipped += o.MorselsSkipped
 }
 
 // Span is one operator-partition measurement, the flame-graph-friendly unit
@@ -172,8 +176,9 @@ type opExtras struct {
 	tuplesOut       int64
 	bytesOut        int64
 
-	morsels      int64
-	morselSteals int64
+	morsels        int64
+	morselSteals   int64
+	morselsSkipped int64
 }
 
 // opStatser is implemented by operators that keep internal counters worth
@@ -241,6 +246,12 @@ func (t *taskProf) finish(ctx *TaskCtx, startNS, taskNS int64) {
 	src.endNS = startNS + taskNS
 	src.x.morsels = int64(ctx.MorselsScanned)
 	src.x.morselSteals = int64(ctx.MorselsStolen)
+	// The skipped count is a property of the fragment's shared queue, not of
+	// any one task; attribute it to partition 0 so the merged profile counts
+	// it exactly once.
+	if ctx.morsels != nil && ctx.Partition == 0 {
+		src.x.morselsSkipped = ctx.morsels.skipped
+	}
 }
 
 func sourceKind(s SourceSpec) string {
@@ -432,6 +443,7 @@ func (jp *jobProf) buildProfile(job *Job, wallNS int64) *Profile {
 			sp.ArenaBytes = st.x.arenaBytes
 			sp.Morsels = st.x.morsels
 			sp.MorselSteals = st.x.morselSteals
+			sp.MorselsSkipped = st.x.morselsSkipped
 			p.Spans = append(p.Spans, sp)
 
 			key := nodeKey{t.fragment, k}
@@ -569,8 +581,8 @@ func writeNode(b *strings.Builder, n *ProfileNode, depth int) {
 	if m.HashCollisions > 0 {
 		fmt.Fprintf(b, "  collisions %d", m.HashCollisions)
 	}
-	if m.Morsels > 0 {
-		fmt.Fprintf(b, "  morsels %d (%d stolen)", m.Morsels, m.MorselSteals)
+	if m.Morsels > 0 || m.MorselsSkipped > 0 {
+		fmt.Fprintf(b, "  morsels %d (%d stolen, %d skipped)", m.Morsels, m.MorselSteals, m.MorselsSkipped)
 	}
 	b.WriteString("\n")
 	for _, c := range n.Children {

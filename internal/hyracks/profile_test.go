@@ -270,7 +270,7 @@ func TestProfileTraceRoundTrip(t *testing.T) {
 		"frames_out", "tuples_out", "bytes_out",
 		"frames_forwarded", "frames_rebuilt",
 		"mem_peak", "hash_collisions", "arena_bytes",
-		"morsels", "morsel_steals",
+		"morsels", "morsel_steals", "morsels_skipped",
 	}
 	for _, sp := range raw.Spans {
 		for _, k := range required {

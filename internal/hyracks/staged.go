@@ -22,7 +22,7 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 	// shared cursor would hand every morsel to whichever task runs first.
 	// Round-robin dealing keeps per-task work — and the measured times the
 	// virtual-time scheduler consumes — deterministic.
-	queues, skipped, err := buildScanQueues(job, env, false)
+	queues, qstats, err := buildScanQueues(job, env, false)
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +32,9 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 		buffers[e.ID] = make([][]*frame.Frame, e.ConsumerPartitions)
 	}
 	res := &Result{}
-	res.Stats.FilesSkipped = skipped
+	res.Stats.FilesSkipped = qstats.filesSkipped
+	res.Stats.MorselsSkipped = qstats.morselsSkipped
+	res.Stats.ColdIndexBuilds = qstats.coldIndexBuilds
 	collector := &CollectSink{}
 	var jp *jobProf
 	if env.Profile {

@@ -1,0 +1,480 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"vxq/internal/item"
+	"vxq/internal/jsonparse"
+	"vxq/internal/runtime"
+)
+
+func testSidecar() *Sidecar {
+	return &Sidecar{
+		Ident:      runtime.FileIdent{Size: 4096, ModTimeNanos: 1234567890},
+		SplitGrain: 4 << 10,
+		Splits:     []int64{100, 350, 1200, 4000},
+		Paths: []SidecarPathZones{
+			{
+				Path:      `("root")()("value")`,
+				ZoneGrain: 1024,
+				Zones: []FileStats{
+					{Min: item.Number(1), Max: item.Number(9), Count: 3},
+					{}, // empty zone: no values at the path in this byte range
+					{Min: item.String("a"), Max: item.String("z"), Count: 7},
+					{Min: item.Number(-4), Max: item.Number(-4), Count: 1},
+				},
+			},
+			{Path: `("other")`, ZoneGrain: 2048, Zones: []FileStats{{}, {}}},
+		},
+	}
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	want := testSidecar()
+	got, err := DecodeSidecar(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ident != want.Ident || got.SplitGrain != want.SplitGrain {
+		t.Fatalf("header round trip: %+v vs %+v", got, want)
+	}
+	if len(got.Splits) != len(want.Splits) {
+		t.Fatalf("splits = %v, want %v", got.Splits, want.Splits)
+	}
+	for i := range want.Splits {
+		if got.Splits[i] != want.Splits[i] {
+			t.Fatalf("splits = %v, want %v", got.Splits, want.Splits)
+		}
+	}
+	if len(got.Paths) != len(want.Paths) {
+		t.Fatalf("paths = %d, want %d", len(got.Paths), len(want.Paths))
+	}
+	for i, wp := range want.Paths {
+		gp := got.Paths[i]
+		if gp.Path != wp.Path || gp.ZoneGrain != wp.ZoneGrain || len(gp.Zones) != len(wp.Zones) {
+			t.Fatalf("path %d: %+v vs %+v", i, gp, wp)
+		}
+		for j, wz := range wp.Zones {
+			gz := gp.Zones[j]
+			if gz.Count != wz.Count {
+				t.Fatalf("path %d zone %d: count %d vs %d", i, j, gz.Count, wz.Count)
+			}
+			if wz.Count > 0 && (item.Compare(gz.Min, wz.Min) != 0 || item.Compare(gz.Max, wz.Max) != 0) {
+				t.Fatalf("path %d zone %d: %v..%v vs %v..%v", i, j, gz.Min, gz.Max, wz.Min, wz.Max)
+			}
+		}
+	}
+}
+
+// TestSidecarDecodeRejectsCorruption: every malformation — bad magic, bad
+// version, flipped bytes, truncation, trailing garbage — must fail decoding
+// (the caller treats any error as a cache miss; it must never panic or
+// silently succeed).
+func TestSidecarDecodeRejectsCorruption(t *testing.T) {
+	good := testSidecar().Encode()
+	if _, err := DecodeSidecar(good); err != nil {
+		t.Fatal(err)
+	}
+
+	reseal := func(b []byte) []byte {
+		// Recompute the CRC so the corruption under test is reached.
+		body := b[:len(b)-4]
+		return binary.LittleEndian.AppendUint32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+	}
+
+	t.Run("magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] = 'X'
+		if _, err := DecodeSidecar(b); err == nil {
+			t.Fatal("bad magic must fail")
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(b[4:], SidecarVersion+1)
+		if _, err := DecodeSidecar(reseal(b)); err == nil {
+			t.Fatal("future version must fail")
+		}
+	})
+	t.Run("crc", func(t *testing.T) {
+		for off := 0; off < len(good); off += 7 {
+			b := append([]byte(nil), good...)
+			b[off] ^= 0x40
+			if _, err := DecodeSidecar(b); err == nil {
+				t.Fatalf("flipped byte at %d must fail", off)
+			}
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for n := 0; n < len(good); n += 3 {
+			if _, err := DecodeSidecar(good[:n]); err == nil {
+				t.Fatalf("truncation to %d bytes must fail", n)
+			}
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		b := append(append([]byte(nil), good[:len(good)-4]...), 0, 0, 0)
+		if _, err := DecodeSidecar(reseal(b)); err == nil {
+			t.Fatal("trailing bytes must fail")
+		}
+	})
+}
+
+func TestLoadSidecarValidatesIdentity(t *testing.T) {
+	dir := t.TempDir()
+	sc := testSidecar()
+	path := filepath.Join(dir, "data.json"+runtime.SidecarSuffix)
+	if err := WriteSidecar(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSidecar(path, sc.Ident); err != nil {
+		t.Fatalf("matching identity: %v", err)
+	}
+	if _, err := LoadSidecar(path, runtime.FileIdent{Size: sc.Ident.Size + 1, ModTimeNanos: sc.Ident.ModTimeNanos}); err == nil {
+		t.Fatal("size mismatch must fail")
+	}
+	if _, err := LoadSidecar(path, runtime.FileIdent{Size: sc.Ident.Size, ModTimeNanos: sc.Ident.ModTimeNanos + 1}); err == nil {
+		t.Fatal("mtime mismatch must fail")
+	}
+	if _, err := LoadSidecar(filepath.Join(dir, "missing.vxqx"), sc.Ident); err == nil {
+		t.Fatal("missing sidecar must fail")
+	}
+}
+
+func TestSidecarPathFor(t *testing.T) {
+	if got := SidecarPathFor("/data/a.json", ""); got != "/data/a.json"+runtime.SidecarSuffix {
+		t.Errorf("default placement = %q", got)
+	}
+	a := SidecarPathFor("/data/a.json", "/cache")
+	b := SidecarPathFor("/data/b.json", "/cache")
+	if filepath.Dir(a) != "/cache" || a == b {
+		t.Errorf("cache-dir placement: %q vs %q", a, b)
+	}
+	if filepath.Ext(a) != runtime.SidecarSuffix {
+		t.Errorf("cache-dir sidecar %q lacks the suffix", a)
+	}
+}
+
+// writeNDJSONDir writes a small NDJSON collection to dir and returns a
+// DirSource over it.
+func writeNDJSONDir(t *testing.T, dir string, files, records int) *runtime.DirSource {
+	t.Helper()
+	for f := 0; f < files; f++ {
+		var data []byte
+		for i := 0; i < records; i++ {
+			data = append(data, fmt.Sprintf(`{"root":[{"results":[{"value":%d,"pad":"%0128d"}]}]}`, f*1000+i, i)...)
+			data = append(data, '\n')
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("part-%d.json", f)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &runtime.DirSource{Mounts: map[string]string{"/nd": dir}}
+}
+
+func valuePath() jsonparse.Path {
+	return jsonparse.Path{
+		jsonparse.KeyStep("root"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("results"), jsonparse.MembersStep(),
+		jsonparse.KeyStep("value"),
+	}
+}
+
+// TestRegistryWarmStartFromSidecars: what one registry builds and persists, a
+// second (fresh, simulating a new process) must serve from sidecars alone —
+// splits, per-zone stats, and the file-level range aggregated from zones.
+func TestRegistryWarmStartFromSidecars(t *testing.T) {
+	dir := t.TempDir()
+	src := writeNDJSONDir(t, dir, 2, 50)
+	pers := &Persistence{Ident: src.Ident}
+
+	zms, err := BuildWith(src, "/nd", []jsonparse.Path{valuePath()},
+		BuildOptions{SplitGrain: 512, ZoneGrain: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1 := NewRegistry()
+	reg1.SetPersistence(pers)
+	reg1.Add(zms[0])
+	if w := reg1.Stats().SidecarWrites; w != 2 {
+		t.Fatalf("sidecar writes = %d, want 2", w)
+	}
+	files, _ := src.Files("/nd")
+	for _, f := range files {
+		if _, err := os.Stat(f + runtime.SidecarSuffix); err != nil {
+			t.Fatalf("no sidecar next to %s: %v", f, err)
+		}
+	}
+
+	// A fresh registry — no zone maps, persistence only — must go warm.
+	reg2 := NewRegistry()
+	reg2.SetPersistence(pers)
+	for _, f := range files {
+		sp, ok := reg2.FileSplits("/nd", f)
+		if !ok || len(sp) == 0 {
+			t.Fatalf("%s: no splits from sidecar", f)
+		}
+		want := zms[0].Splits[f]
+		if len(sp) != len(want) {
+			t.Fatalf("%s: %d splits from sidecar, %d from build", f, len(sp), len(want))
+		}
+		for i := range sp {
+			if sp[i] != want[i] {
+				t.Fatalf("%s: split[%d] = %d, want %d", f, i, sp[i], want[i])
+			}
+		}
+		zones, ok := reg2.FileZones("/nd", valuePath(), f)
+		if !ok || len(zones) == 0 {
+			t.Fatalf("%s: no zones from sidecar", f)
+		}
+		if zones[len(zones)-1].End != zms[0].Zones[f].Size {
+			t.Fatalf("%s: zones end at %d, file is %d bytes", f, zones[len(zones)-1].End, zms[0].Zones[f].Size)
+		}
+		r, ok := reg2.FileRange("/nd", valuePath(), f)
+		if !ok {
+			t.Fatalf("%s: no range from sidecar zones", f)
+		}
+		want2 := zms[0].Files[f]
+		if r.Count != want2.Count || item.Compare(r.Min, want2.Min) != 0 || item.Compare(r.Max, want2.Max) != 0 {
+			t.Fatalf("%s: range %v..%v (%d) from sidecar, want %v..%v (%d)",
+				f, r.Min, r.Max, r.Count, want2.Min, want2.Max, want2.Count)
+		}
+	}
+	st := reg2.Stats()
+	if st.SidecarLoads != 2 || st.SidecarMisses != 0 {
+		t.Fatalf("stats = %+v, want 2 loads, 0 misses", st)
+	}
+	// Negative caching: repeated lookups must not re-read the disk.
+	for _, f := range files {
+		reg2.FileSplits("/nd", f)
+	}
+	if st2 := reg2.Stats(); st2.SidecarLoads != st.SidecarLoads {
+		t.Fatalf("repeated lookups re-loaded sidecars: %+v", st2)
+	}
+}
+
+// TestRegistryInvalidation: a changed file (mtime or size) makes its sidecar
+// stale — lookups miss, fall back cold, and the next recording rewrites the
+// sidecar under the new identity. A corrupt sidecar is likewise a silent
+// miss.
+func TestRegistryInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	src := writeNDJSONDir(t, dir, 1, 50)
+	pers := &Persistence{Ident: src.Ident}
+	files, _ := src.Files("/nd")
+	file := files[0]
+
+	reg := NewRegistry()
+	reg.SetPersistence(pers)
+	reg.RecordFileSplits("/nd", file, []int64{95, 190})
+	if w := reg.Stats().SidecarWrites; w != 1 {
+		t.Fatalf("writes = %d, want 1", w)
+	}
+
+	t.Run("mtime", func(t *testing.T) {
+		if err := os.Chtimes(file, time.Now(), time.Now().Add(3*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewRegistry()
+		fresh.SetPersistence(pers)
+		if _, ok := fresh.FileSplits("/nd", file); ok {
+			t.Fatal("stale sidecar served after mtime change")
+		}
+		if st := fresh.Stats(); st.SidecarMisses != 1 || st.SidecarLoads != 0 {
+			t.Fatalf("stats = %+v, want 1 miss", st)
+		}
+		// The cold scan records fresh splits; the sidecar is rewritten and a
+		// fresh registry reads it warm again.
+		fresh.RecordFileSplits("/nd", file, []int64{95, 190})
+		warm := NewRegistry()
+		warm.SetPersistence(pers)
+		if sp, ok := warm.FileSplits("/nd", file); !ok || len(sp) != 2 {
+			t.Fatalf("rewritten sidecar not served: %v ok=%v", sp, ok)
+		}
+	})
+
+	t.Run("size", func(t *testing.T) {
+		f, err := os.OpenFile(file, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("{\"root\":[]}\n")); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		fresh := NewRegistry()
+		fresh.SetPersistence(pers)
+		if _, ok := fresh.FileSplits("/nd", file); ok {
+			t.Fatal("stale sidecar served after size change")
+		}
+	})
+
+	t.Run("in-memory staleness", func(t *testing.T) {
+		// The same registry that already served the file warm must notice
+		// the identity change on the next lookup — memory entries revalidate
+		// like sidecars do.
+		reg2 := NewRegistry()
+		reg2.SetPersistence(pers)
+		reg2.RecordFileSplits("/nd", file, []int64{95})
+		if _, ok := reg2.FileSplits("/nd", file); !ok {
+			t.Fatal("recorded splits not served")
+		}
+		if err := os.Chtimes(file, time.Now(), time.Now().Add(7*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := reg2.FileSplits("/nd", file); ok {
+			t.Fatal("in-memory entry served after the file changed")
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		reg3 := NewRegistry()
+		reg3.SetPersistence(pers)
+		reg3.RecordFileSplits("/nd", file, []int64{95})
+		scPath := file + runtime.SidecarSuffix
+		b, err := os.ReadFile(scPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0xff
+		if err := os.WriteFile(scPath, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewRegistry()
+		fresh.SetPersistence(pers)
+		if _, ok := fresh.FileSplits("/nd", file); ok {
+			t.Fatal("corrupt sidecar served")
+		}
+		if st := fresh.Stats(); st.SidecarMisses != 1 {
+			t.Fatalf("stats = %+v, want 1 miss", st)
+		}
+		// Truncated: same story.
+		if err := os.WriteFile(scPath, b[:7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh2 := NewRegistry()
+		fresh2.SetPersistence(pers)
+		if _, ok := fresh2.FileSplits("/nd", file); ok {
+			t.Fatal("truncated sidecar served")
+		}
+	})
+}
+
+// TestRegistryNoPersistence: without persistence (or for files without a
+// durable identity) the registry is memory-only — nothing is written to disk.
+func TestRegistryNoPersistence(t *testing.T) {
+	dir := t.TempDir()
+	src := writeNDJSONDir(t, dir, 1, 20)
+	files, _ := src.Files("/nd")
+
+	reg := NewRegistry()
+	reg.RecordFileSplits("/nd", files[0], []int64{64})
+	if _, err := os.Stat(files[0] + runtime.SidecarSuffix); !os.IsNotExist(err) {
+		t.Fatalf("sidecar written without persistence: %v", err)
+	}
+
+	// MemSource files report no durable identity: persistence configured but
+	// inert for them.
+	mem := &runtime.MemSource{Collections: map[string]map[string][]byte{
+		"/m": {"doc.json": []byte(`{"root":[]}` + "\n")},
+	}}
+	reg2 := NewRegistry()
+	reg2.SetPersistence(&Persistence{Ident: mem.Ident})
+	reg2.RecordFileSplits("/m", "doc.json", []int64{12})
+	if sp, ok := reg2.FileSplits("/m", "doc.json"); !ok || len(sp) != 1 {
+		t.Fatalf("memory-only splits lost: %v ok=%v", sp, ok)
+	}
+	if st := reg2.Stats(); st.SidecarWrites != 0 || st.SidecarLoads != 0 {
+		t.Fatalf("stats = %+v, want no sidecar traffic", st)
+	}
+}
+
+// TestRegistryCacheDir: with a cache directory configured, sidecars land
+// there instead of next to the data (read-only data directories).
+func TestRegistryCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(t.TempDir(), "cache") // not yet created: registry must MkdirAll
+	src := writeNDJSONDir(t, dir, 1, 20)
+	pers := &Persistence{Ident: src.Ident, Dir: cache}
+	files, _ := src.Files("/nd")
+
+	reg := NewRegistry()
+	reg.SetPersistence(pers)
+	reg.RecordFileSplits("/nd", files[0], []int64{64, 128})
+	if _, err := os.Stat(files[0] + runtime.SidecarSuffix); !os.IsNotExist(err) {
+		t.Fatalf("sidecar written next to data despite cache dir: %v", err)
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir entries = %v, err = %v", entries, err)
+	}
+
+	warm := NewRegistry()
+	warm.SetPersistence(pers)
+	if sp, ok := warm.FileSplits("/nd", files[0]); !ok || len(sp) != 2 {
+		t.Fatalf("cache-dir sidecar not served: %v ok=%v", sp, ok)
+	}
+}
+
+// TestRegistryConcurrentAccess runs warm lookups concurrently with split
+// recording and zone-map adds over the same files — the scenario of one job
+// scanning warm while another records what its cold scan computed. Run under
+// -race (the Makefile race target covers this package).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	src := writeNDJSONDir(t, dir, 2, 40)
+	pers := &Persistence{Ident: src.Ident}
+	files, _ := src.Files("/nd")
+
+	zms, err := BuildWith(src, "/nd", []jsonparse.Path{valuePath()},
+		BuildOptions{SplitGrain: 512, ZoneGrain: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := NewRegistry()
+	seed.SetPersistence(pers)
+	seed.Add(zms[0])
+
+	reg := NewRegistry()
+	reg.SetPersistence(pers)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := files[(g+i)%len(files)]
+				switch i % 4 {
+				case 0:
+					reg.FileSplits("/nd", f)
+				case 1:
+					reg.FileZones("/nd", valuePath(), f)
+				case 2:
+					reg.FileRange("/nd", valuePath(), f)
+				case 3:
+					reg.RecordFileSplits("/nd", f, []int64{95, 190})
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			reg.Add(zms[0])
+		}
+	}()
+	wg.Wait()
+	for _, f := range files {
+		if _, ok := reg.FileSplits("/nd", f); !ok {
+			t.Errorf("%s: splits lost after concurrent access", f)
+		}
+	}
+}

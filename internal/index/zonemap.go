@@ -8,16 +8,21 @@
 // that path. When a query's selection bounds the indexed path, the DATASCAN
 // skips files whose [min,max] range cannot overlap the predicate — the
 // searched data volume shrinks without touching query semantics (the
-// SELECT operator still verifies every surviving tuple).
+// SELECT operator still verifies every surviving tuple). A build also
+// records per-zone stats — min/max over fixed byte ranges of each file —
+// which morsel splitting consults to skip whole byte ranges of files that
+// survive the file-level check.
 //
-// Zone maps are built with one streaming pass over the collection and must
-// be rebuilt when the underlying files change.
+// Zone maps are built with one streaming pass over the collection. With
+// persistence configured (see Persistence), what a build or a cold scan
+// computes is written to per-file sidecars and revalidated against each
+// file's (size, mtime) identity on lookup, so the index survives process
+// restarts and stale entries fall back to a cold scan automatically.
 package index
 
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"vxq/internal/item"
 	"vxq/internal/jsonparse"
@@ -37,7 +42,12 @@ const DefaultSplitGrain int64 = 4 << 10
 // range opens cost more than the parallelism returns.
 const DefaultParallelMinBytes int64 = 8 << 20
 
-// FileStats is the zone-map entry of one file.
+// DefaultZoneGrain is the byte width of per-zone min/max stats: fine enough
+// that a default-sized morsel (4 MiB) spans several zones, coarse enough
+// that zone metadata stays a rounding error next to the data.
+const DefaultZoneGrain int64 = 512 << 10
+
+// FileStats is the zone-map entry of one file (or one zone of a file).
 type FileStats struct {
 	// Min and Max bound the values found at the indexed path (nil when the
 	// file has none).
@@ -46,11 +56,60 @@ type FileStats struct {
 	Count int64
 }
 
+func (st *FileStats) observe(it item.Item) {
+	if st.Count == 0 {
+		st.Min, st.Max = it, it
+	} else {
+		if item.Compare(it, st.Min) < 0 {
+			st.Min = it
+		}
+		if item.Compare(it, st.Max) > 0 {
+			st.Max = it
+		}
+	}
+	st.Count++
+}
+
+// PathZones is the dense per-zone stats of one file at one path: zone i
+// summarizes the records whose line start lies in [i*Grain, (i+1)*Grain),
+// and the zones together cover [0, Size).
+type PathZones struct {
+	Grain int64
+	Size  int64
+	Stats []FileStats
+}
+
+// runtimeZones converts to the runtime.Zone form consumed by morsel pruning.
+func (pz PathZones) runtimeZones() []runtime.Zone {
+	if pz.Grain <= 0 || len(pz.Stats) == 0 {
+		return nil
+	}
+	out := make([]runtime.Zone, len(pz.Stats))
+	for i, st := range pz.Stats {
+		start := int64(i) * pz.Grain
+		end := start + pz.Grain
+		if end > pz.Size {
+			end = pz.Size
+		}
+		out[i] = runtime.Zone{
+			Start: start,
+			End:   end,
+			Range: runtime.FileRange{Min: st.Min, Max: st.Max, Count: st.Count},
+		}
+	}
+	return out
+}
+
 // ZoneMap is a per-file min/max index of one (collection, path).
 type ZoneMap struct {
 	Collection string
 	Path       jsonparse.Path
 	Files      map[string]FileStats
+
+	// Zones holds, per file, the dense per-zone stats the build computed —
+	// the intra-file refinement of Files that lets morsel splitting skip
+	// byte ranges, not just whole files.
+	Zones map[string]PathZones
 
 	// Splits holds, per file, ascending record-start offsets sampled at
 	// DefaultSplitGrain by the structural-index boundary scanner — a free
@@ -75,6 +134,9 @@ type BuildOptions struct {
 	// (DefaultParallelMinBytes when 0; negative disables the parallel pass
 	// entirely).
 	ParallelMinBytes int64
+	// ZoneGrain is the byte width of per-zone min/max stats
+	// (DefaultZoneGrain when 0; negative disables zone stats).
+	ZoneGrain int64
 }
 
 func (o BuildOptions) splitGrain() int64 {
@@ -85,6 +147,16 @@ func (o BuildOptions) splitGrain() int64 {
 		return 0
 	}
 	return o.SplitGrain
+}
+
+func (o BuildOptions) zoneGrain() int64 {
+	if o.ZoneGrain == 0 {
+		return DefaultZoneGrain
+	}
+	if o.ZoneGrain < 0 {
+		return 0
+	}
+	return o.ZoneGrain
 }
 
 // Build scans every file of the collection once and records the per-file
@@ -103,13 +175,14 @@ func Build(src runtime.Source, collection string, path jsonparse.Path) (*ZoneMap
 
 // BuildWith builds one zone map per path over a single scan of the
 // collection: every file is read once, its record items feed the min/max
-// stats of every path, and one boundary pass — the speculative parallel
-// indexer for large range-readable files, a sequential BoundaryScanner teed
-// under the stats scan otherwise — serves all of them. The returned maps
-// share one Splits table per collection (splits are a property of the file
-// bytes, not of the indexed path). With a single path the stats pass is the
-// streaming projected scan (nothing off the path is materialized); with
-// several, each record is parsed once and every path is applied to it.
+// stats of every path — whole-file and per-zone — and one boundary pass —
+// the speculative parallel indexer for large range-readable files, a
+// sequential BoundaryScanner teed under the stats scan otherwise — serves
+// all of them. The returned maps share one Splits table per collection
+// (splits are a property of the file bytes, not of the indexed path). With
+// a single path the stats pass is the streaming projected scan (nothing off
+// the path is materialized); with several, each record is parsed once and
+// every path is applied to it.
 func BuildWith(src runtime.Source, collection string, paths []jsonparse.Path, opts BuildOptions) ([]*ZoneMap, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("index: no paths to build")
@@ -118,6 +191,7 @@ func BuildWith(src runtime.Source, collection string, paths []jsonparse.Path, op
 	if err != nil {
 		return nil, err
 	}
+	zoneGrain := opts.zoneGrain()
 	splits := make(map[string][]int64, len(files))
 	zms := make([]*ZoneMap, len(paths))
 	for i, p := range paths {
@@ -125,29 +199,27 @@ func BuildWith(src runtime.Source, collection string, paths []jsonparse.Path, op
 			Collection: collection,
 			Path:       append(jsonparse.Path(nil), p...),
 			Files:      make(map[string]FileStats, len(files)),
+			Zones:      make(map[string]PathZones, len(files)),
 			Splits:     splits,
 		}
 	}
 	for _, f := range files {
 		stats := make([]FileStats, len(paths))
-		observe := func(pathIdx int, it item.Item) error {
+		zones := make([][]FileStats, len(paths))
+		observe := func(pathIdx int, lineStart int64, it item.Item) error {
 			switch it.Kind() {
 			case item.KindObject, item.KindArray:
 				return fmt.Errorf("path %s yields a %s; zone maps index scalar paths",
 					paths[pathIdx], it.Kind())
 			}
-			st := &stats[pathIdx]
-			if st.Count == 0 {
-				st.Min, st.Max = it, it
-			} else {
-				if item.Compare(it, st.Min) < 0 {
-					st.Min = it
+			stats[pathIdx].observe(it)
+			if zoneGrain > 0 {
+				zi := int(lineStart / zoneGrain)
+				for len(zones[pathIdx]) <= zi {
+					zones[pathIdx] = append(zones[pathIdx], FileStats{})
 				}
-				if item.Compare(it, st.Max) > 0 {
-					st.Max = it
-				}
+				zones[pathIdx][zi].observe(it)
 			}
-			st.Count++
 			return nil
 		}
 
@@ -163,22 +235,23 @@ func BuildWith(src runtime.Source, collection string, paths []jsonparse.Path, op
 		if err != nil {
 			return nil, fmt.Errorf("index: %s: %w", f, err)
 		}
-		var r io.Reader = rc
+		cr := &runtime.CountingReader{R: rc}
+		var r io.Reader = cr
 		var bs *jsonparse.BoundaryScanner
 		if !parallel {
 			bs = jsonparse.NewBoundaryScanner(opts.splitGrain())
-			r = io.TeeReader(rc, bs)
+			r = io.TeeReader(cr, bs)
 		}
 		lx := jsonparse.NewStreamLexerAt(r, jsonparse.DefaultChunkSize, 0)
 		if len(paths) == 1 {
-			_, err = jsonparse.ScanValues(lx, paths[0], -1, func(it item.Item) error {
-				return observe(0, it)
+			_, err = jsonparse.ScanRecords(lx, paths[0], -1, func(ls int64, it item.Item) error {
+				return observe(0, ls, it)
 			})
 		} else {
-			_, err = jsonparse.ScanValues(lx, nil, -1, func(record item.Item) error {
+			_, err = jsonparse.ScanRecords(lx, nil, -1, func(ls int64, record item.Item) error {
 				for i, p := range paths {
 					for _, it := range jsonparse.ApplyPath(record, p) {
-						if err := observe(i, it); err != nil {
+						if err := observe(i, ls, it); err != nil {
 							return err
 						}
 					}
@@ -196,8 +269,19 @@ func BuildWith(src runtime.Source, collection string, paths []jsonparse.Path, op
 			bs.Close()
 			fileSplits = bs.Splits()
 		}
+		size := cr.N
 		for i := range zms {
 			zms[i].Files[f] = stats[i]
+			if zoneGrain > 0 && size > 0 {
+				// Pad to full coverage: records the path yields nothing for
+				// still fall inside a (possibly empty) zone, so morsel
+				// pruning never faces an uncovered byte range.
+				z := zones[i]
+				for int64(len(z))*zoneGrain < size {
+					z = append(z, FileStats{})
+				}
+				zms[i].Zones[f] = PathZones{Grain: zoneGrain, Size: size, Stats: z}
+			}
 		}
 		if len(fileSplits) > 0 {
 			splits[f] = fileSplits
@@ -235,96 +319,4 @@ func parallelFileSplits(src runtime.Source, file string, opts BuildOptions) (spl
 		return nil, false, err
 	}
 	return splits, true, nil
-}
-
-// Registry holds the zone maps of an engine, keyed by collection and path,
-// plus boundary indexes recorded outside any zone-map build (cold scans
-// record the splits their parallel phase 1 computes, so later scans skip the
-// work). It implements runtime.IndexLookup, runtime.SplitLookup and
-// runtime.SplitRecorder. Safe for concurrent use.
-type Registry struct {
-	mu     sync.RWMutex
-	maps   map[string]*ZoneMap
-	splits map[string]map[string][]int64 // collection -> file -> record starts
-}
-
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		maps:   map[string]*ZoneMap{},
-		splits: map[string]map[string][]int64{},
-	}
-}
-
-func key(collection string, path jsonparse.Path) string {
-	return collection + "\x00" + path.String()
-}
-
-// Add registers (or replaces) a zone map.
-func (r *Registry) Add(zm *ZoneMap) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.maps[key(zm.Collection, zm.Path)] = zm
-}
-
-// FileRange implements runtime.IndexLookup: it reports the indexed value
-// range of one file, if a matching zone map exists.
-func (r *Registry) FileRange(collection string, path jsonparse.Path, file string) (runtime.FileRange, bool) {
-	r.mu.RLock()
-	zm, ok := r.maps[key(collection, path)]
-	r.mu.RUnlock()
-	if !ok {
-		return runtime.FileRange{}, false
-	}
-	st, ok := zm.Files[file]
-	if !ok {
-		return runtime.FileRange{}, false
-	}
-	return runtime.FileRange{Min: st.Min, Max: st.Max, Count: st.Count}, true
-}
-
-// FileSplits implements runtime.SplitLookup: it reports the sampled
-// record-start offsets of one file if a recorded boundary index or any
-// registered zone map of the collection carries them. Splits are a property
-// of the file bytes, not of the indexed path, so any map of the collection
-// serves.
-func (r *Registry) FileSplits(collection, file string) ([]int64, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if sp, ok := r.splits[collection][file]; ok && len(sp) > 0 {
-		return sp, true
-	}
-	for _, zm := range r.maps {
-		if zm.Collection != collection {
-			continue
-		}
-		if sp, ok := zm.Splits[file]; ok && len(sp) > 0 {
-			return sp, true
-		}
-	}
-	return nil, false
-}
-
-// RecordFileSplits implements runtime.SplitRecorder: it stores a boundary
-// index computed outside a zone-map build — the cold-scan parallel phase 1 —
-// so subsequent scans of the same file get exact morsel splits for free.
-func (r *Registry) RecordFileSplits(collection, file string, splits []int64) {
-	if len(splits) == 0 {
-		return
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := r.splits[collection]
-	if m == nil {
-		m = map[string][]int64{}
-		r.splits[collection] = m
-	}
-	m[file] = splits
-}
-
-// Len reports the number of registered zone maps.
-func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.maps)
 }

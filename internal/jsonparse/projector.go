@@ -228,7 +228,20 @@ func ProjectReader(r io.Reader, chunkSize int, path Path, emit func(item.Item) e
 // preceded by post-newline whitespace that straddles a boundary is emitted
 // exactly once. It returns the number of top-level values processed.
 func ScanValues(l *Lexer, path Path, limit int64, emit func(item.Item) error) (int, error) {
+	return ScanRecords(l, path, limit, func(_ int64, it item.Item) error { return emit(it) })
+}
+
+// ScanRecords is ScanValues with record provenance: emit additionally
+// receives the line-start offset of the record each projected item came from
+// (the same offset ScanValues bounds with limit). Zone-map builds use it to
+// assign per-record stats to byte-range zones that line up exactly with
+// morsel ownership.
+func ScanRecords(l *Lexer, path Path, limit int64, emit func(lineStart int64, it item.Item) error) (int, error) {
 	n := 0
+	// One closure for the whole scan (not one per record): start is rebound
+	// each iteration, keeping the hot path at zero allocations per record.
+	var start int64
+	wrapped := func(it item.Item) error { return emit(start, it) }
 	for {
 		done, err := l.AtEOF()
 		if err != nil {
@@ -237,7 +250,8 @@ func ScanValues(l *Lexer, path Path, limit int64, emit func(item.Item) error) (i
 		if done {
 			return n, nil
 		}
-		if limit >= 0 && l.LineStart() >= limit {
+		start = l.LineStart()
+		if limit >= 0 && start >= limit {
 			return n, nil
 		}
 		if err := l.Next(); err != nil {
@@ -246,7 +260,7 @@ func ScanValues(l *Lexer, path Path, limit int64, emit func(item.Item) error) (i
 		if l.Kind == TokEOF {
 			return n, nil
 		}
-		if err := projectValue(l, path, emit); err != nil {
+		if err := projectValue(l, path, wrapped); err != nil {
 			return n, err
 		}
 		n++

@@ -235,7 +235,8 @@ func (s *specScanner) Close() {
 func (s *specScanner) flip() bool { return s.st.prevInString != 0 }
 
 func (s *specScanner) block(b []byte) {
-	r := classifyBlock(b)
+	var r rawMasks
+	classifyBlock(b, &r)
 	escaped := s.st.findEscaped(r.bslash)
 	inStr0 := prefixXor(r.quote&^escaped) ^ s.st.prevInString
 	s.st.prevInString = uint64(int64(inStr0) >> 63)
@@ -442,7 +443,8 @@ func (pi ParallelIndexer) Scan(buf []byte, visit func(off int64, m BlockMasks) e
 					copy(pad[:], buf[off:hi])
 					b = pad[:]
 				}
-				r := classifyBlock(b)
+				var r rawMasks
+				classifyBlock(b, &r)
 				escaped := st.findEscaped(r.bslash)
 				inStr0 := prefixXor(r.quote&^escaped) ^ st.prevInString
 				st.prevInString = uint64(int64(inStr0) >> 63)

@@ -141,23 +141,31 @@ type rawMasks struct {
 }
 
 // classifyBlock runs the SWAR character classification over one full 64-byte
-// block. b must have at least 64 bytes.
-func classifyBlock(b []byte) (r rawMasks) {
+// block, writing the result through r. b must have at least 64 bytes.
+//
+// The outparam shape (instead of returning rawMasks by value) is what lets
+// IndexBlock and the speculative indexer share this one loop: the eight
+// accumulators live in registers for the whole loop and are stored exactly
+// once at the end, so a caller whose *rawMasks is a non-escaping stack slot
+// pays one 64-byte store instead of the return-slot copy that made the
+// by-value version ~14% slower for the fused sequential builder.
+func classifyBlock(b []byte, r *rawMasks) {
+	var quote, bslash, open, close, comma, colon, nl, ctl uint64
 	_ = b[63]
 	for w := 0; w < 8; w++ {
 		x := binary.LittleEndian.Uint64(b[8*w:])
 		m := x | swarBit5
 		sh := uint(8 * w)
-		r.quote |= packHighBits(zeroLanes(x^swarQuote)) << sh
-		r.bslash |= packHighBits(zeroLanes(x^swarBsl)) << sh
-		r.open |= packHighBits(zeroLanes(m^swarOpen)) << sh
-		r.close |= packHighBits(zeroLanes(m^swarClose)) << sh
-		r.comma |= packHighBits(zeroLanes(x^swarComma)) << sh
-		r.colon |= packHighBits(zeroLanes(x^swarColon)) << sh
-		r.nl |= packHighBits(zeroLanes(x^swarNL)) << sh
-		r.ctl |= packHighBits(zeroLanes(x&swarCtl)) << sh
+		quote |= packHighBits(zeroLanes(x^swarQuote)) << sh
+		bslash |= packHighBits(zeroLanes(x^swarBsl)) << sh
+		open |= packHighBits(zeroLanes(m^swarOpen)) << sh
+		close |= packHighBits(zeroLanes(m^swarClose)) << sh
+		comma |= packHighBits(zeroLanes(x^swarComma)) << sh
+		colon |= packHighBits(zeroLanes(x^swarColon)) << sh
+		nl |= packHighBits(zeroLanes(x^swarNL)) << sh
+		ctl |= packHighBits(zeroLanes(x&swarCtl)) << sh
 	}
-	return r
+	*r = rawMasks{quote, bslash, open, close, comma, colon, nl, ctl}
 }
 
 // derive applies resolved escape and in-string masks to the raw character
@@ -181,30 +189,17 @@ func (r rawMasks) derive(escaped, inStr uint64) BlockMasks {
 // differential tests and the bitmap-builder benchmark exercise; the skip and
 // string hot loops use slimmer internal variants of the same arithmetic.
 //
-// The classification loop is a fused copy of classifyBlock: the compiler
-// cannot inline that helper (it is over the budget), and paying a call plus
-// a 64-byte struct copy per block costs the sequential builder ~14%, so the
-// one hot sequential entry point keeps its own loop.
+// The classification loop is shared with the speculative indexer via
+// classifyBlock; its outparam shape keeps this path free of the return-slot
+// copy that an earlier by-value version paid (the fused-loop bounds in
+// parse_bench_test.go pin the throughput either way).
 func IndexBlock(b []byte, st *StructState) BlockMasks {
-	var quote, bslash, open, close, comma, colon, nl, ctl uint64
-	_ = b[63]
-	for w := 0; w < 8; w++ {
-		x := binary.LittleEndian.Uint64(b[8*w:])
-		m := x | swarBit5
-		sh := uint(8 * w)
-		quote |= packHighBits(zeroLanes(x^swarQuote)) << sh
-		bslash |= packHighBits(zeroLanes(x^swarBsl)) << sh
-		open |= packHighBits(zeroLanes(m^swarOpen)) << sh
-		close |= packHighBits(zeroLanes(m^swarClose)) << sh
-		comma |= packHighBits(zeroLanes(x^swarComma)) << sh
-		colon |= packHighBits(zeroLanes(x^swarColon)) << sh
-		nl |= packHighBits(zeroLanes(x^swarNL)) << sh
-		ctl |= packHighBits(zeroLanes(x&swarCtl)) << sh
-	}
-	escaped := st.findEscaped(bslash)
-	inStr := prefixXor(quote&^escaped) ^ st.prevInString
+	var r rawMasks
+	classifyBlock(b, &r)
+	escaped := st.findEscaped(r.bslash)
+	inStr := prefixXor(r.quote&^escaped) ^ st.prevInString
 	st.prevInString = uint64(int64(inStr) >> 63)
-	return rawMasks{quote, bslash, open, close, comma, colon, nl, ctl}.derive(escaped, inStr)
+	return r.derive(escaped, inStr)
 }
 
 // stringEventMask flags the bytes of one word that the string scanner must

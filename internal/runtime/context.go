@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"vxq/internal/frame"
 	"vxq/internal/item"
@@ -50,6 +51,27 @@ type RangeOpener interface {
 // without reading it, used to split files into morsels up front.
 type Sizer interface {
 	Size(path string) (int64, error)
+}
+
+// SidecarSuffix is the file-name suffix of persistent structural-index
+// sidecars (vxq/internal/index). It lives here so DirSource can exclude
+// sidecars from collection listings without importing the index package:
+// a sidecar sits next to its data file but is never itself a record file.
+const SidecarSuffix = ".vxqx"
+
+// FileIdent is the durable identity of a file: the (size, mtime) pair that
+// persistent caches validate against. Two observations with equal idents are
+// treated as the same bytes; any change to the file bumps at least one field.
+type FileIdent struct {
+	Size         int64
+	ModTimeNanos int64
+}
+
+// Identifier is an optional Source capability: reporting a file's durable
+// identity. ok=false means the file has no identity stable across processes
+// (e.g. in-memory documents) and persistent caches must not cover it.
+type Identifier interface {
+	Ident(path string) (FileIdent, bool)
 }
 
 // ReadAll reads a whole file through src.Open. It is the canonical
@@ -98,7 +120,7 @@ func (s *DirSource) Files(collection string) ([]string, error) {
 	}
 	var files []string
 	for _, e := range entries {
-		if e.Type().IsRegular() {
+		if e.Type().IsRegular() && !strings.HasSuffix(e.Name(), SidecarSuffix) {
 			files = append(files, filepath.Join(dir, e.Name()))
 		}
 	}
@@ -133,6 +155,15 @@ func (s *DirSource) Size(path string) (int64, error) {
 
 // ReadFile reads one whole file from disk (compatibility shim over Open).
 func (s *DirSource) ReadFile(path string) ([]byte, error) { return ReadAll(s, path) }
+
+// Ident reports a file's durable (size, mtime) identity from the filesystem.
+func (s *DirSource) Ident(path string) (FileIdent, bool) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return FileIdent{}, false
+	}
+	return FileIdent{Size: fi.Size(), ModTimeNanos: fi.ModTime().UnixNano()}, true
+}
 
 // MemSource is an in-memory Source, used by tests.
 type MemSource struct {
@@ -196,6 +227,10 @@ func (s *MemSource) lookup(path string) ([]byte, bool) {
 // ReadFile returns a stored document (compatibility shim over Open).
 func (s *MemSource) ReadFile(path string) ([]byte, error) { return ReadAll(s, path) }
 
+// Ident reports ok=false: in-memory documents have no identity that survives
+// the process, so persistent caches must not cover them.
+func (s *MemSource) Ident(path string) (FileIdent, bool) { return FileIdent{}, false }
+
 // Stats accumulates per-partition execution statistics.
 //
 // Concurrency contract: a Stats instance has exactly one writer. Each task
@@ -205,12 +240,14 @@ func (s *MemSource) ReadFile(path string) ([]byte, error) { return ReadAll(s, pa
 // no atomics, no locks — so sharing an instance between running tasks is a
 // data race (caught by the -race executor tests).
 type Stats struct {
-	BytesRead      int64
-	FilesRead      int64
-	FilesSkipped   int64 // files pruned by a zone-map index
-	TuplesProduced int64
-	TuplesShuffled int64
-	BytesShuffled  int64
+	BytesRead       int64
+	FilesRead       int64
+	FilesSkipped    int64 // files pruned by a zone-map index
+	MorselsSkipped  int64 // morsels pruned by per-zone min/max stats
+	ColdIndexBuilds int64 // cold-scan structural-index passes run at queue build
+	TuplesProduced  int64
+	TuplesShuffled  int64
+	BytesShuffled   int64
 }
 
 // Add merges other into s.
@@ -218,6 +255,8 @@ func (s *Stats) Add(other *Stats) {
 	s.BytesRead += other.BytesRead
 	s.FilesRead += other.FilesRead
 	s.FilesSkipped += other.FilesSkipped
+	s.MorselsSkipped += other.MorselsSkipped
+	s.ColdIndexBuilds += other.ColdIndexBuilds
 	s.TuplesProduced += other.TuplesProduced
 	s.TuplesShuffled += other.TuplesShuffled
 	s.BytesShuffled += other.BytesShuffled
@@ -245,6 +284,26 @@ type IndexLookup interface {
 // falls back to the probe. Offsets must be ascending.
 type SplitLookup interface {
 	FileSplits(collection, file string) ([]int64, bool)
+}
+
+// Zone is one byte-range zone of a file's zone-map index: Range summarizes
+// the indexed-path values of exactly the records whose line start lies in
+// [Start, End). Line starts are the same anchor morsel ownership uses, so a
+// morsel [ms, me) can be skipped when every zone overlapping it excludes the
+// predicate — any record the morsel owns has its line start, and therefore
+// its zone, inside [ms, me).
+type Zone struct {
+	Start, End int64
+	Range      FileRange
+}
+
+// ZoneLookup is an optional IndexLookup capability: reporting the per-zone
+// min/max stats of one file at an indexed path. Zones must be ascending,
+// non-overlapping, and cover [0, fileSize) — a record with no value at the
+// path still lands in a zone, whose Count simply doesn't include it. A miss
+// (or a nil lookup) disables morsel pruning; correctness never depends on it.
+type ZoneLookup interface {
+	FileZones(collection string, path jsonparse.Path, file string) ([]Zone, bool)
 }
 
 // SplitRecorder is an optional IndexLookup capability: accepting a

@@ -38,6 +38,7 @@ package vxq
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"vxq/internal/core"
 	"vxq/internal/frame"
@@ -97,6 +98,12 @@ type Options struct {
 	// cold-scan boundary pass and large-file zone-map builds (default
 	// GOMAXPROCS).
 	IndexWorkers int
+	// IndexZoneGrain is the byte width of the per-zone min/max stats a
+	// BuildIndex/BuildIndexes pass records alongside its per-file ranges
+	// (index.DefaultZoneGrain when 0; negative disables zone stats). Zones
+	// finer than MorselSize let warm scans skip individual morsels whose
+	// value range excludes a query's predicate, not just whole files.
+	IndexZoneGrain int64
 	// Staged selects the staged executor (sequential, per-task timing)
 	// instead of the default pipelined (goroutine) executor. Results are
 	// identical.
@@ -105,6 +112,24 @@ type Options struct {
 	// the merged profile to Result.Profile. Collection wraps every operator
 	// boundary; overhead is a few percent at most, and exactly zero when off.
 	Profile bool
+	// CacheDir is where persistent structural-index sidecars are written
+	// ("" = next to each data file). Useful when data directories are
+	// read-only.
+	CacheDir string
+	// DisableSidecars turns off sidecar persistence entirely: indexes and
+	// record-boundary splits stay in-memory, nothing is written next to the
+	// data, and nothing is loaded from prior runs.
+	DisableSidecars bool
+	// PlanCacheSize bounds the compiled-plan cache (entries): repeated
+	// queries — same text modulo whitespace, same rule options — skip
+	// parse, rewrite and physical planning. 0 means DefaultPlanCacheSize;
+	// negative disables the cache.
+	PlanCacheSize int
+	// ResultCacheBytes bounds the result cache (bytes): a repeated
+	// deterministic query whose scanned files are unchanged — validated by
+	// each file's (size, mtime) identity and the engine's mount generation —
+	// returns its cached result without executing. 0 disables the cache.
+	ResultCacheBytes int64
 }
 
 func (o Options) ruleConfig() core.RuleConfig {
@@ -122,6 +147,12 @@ type Engine struct {
 	mounts  map[string]string
 	docs    map[string]map[string][]byte
 	indexes *index.Registry
+	plans   *planCache
+	results *resultCache
+	// mountGen counts mount-set changes; result-cache entries remember the
+	// generation they were computed under and die when it moves, which
+	// covers the in-memory documents no file identity can validate.
+	mountGen atomic.Uint64
 }
 
 // New creates an engine.
@@ -129,20 +160,43 @@ func New(opts Options) *Engine {
 	if opts.Partitions <= 0 {
 		opts.Partitions = 1
 	}
-	return &Engine{
+	e := &Engine{
 		opts:    opts,
 		mounts:  map[string]string{},
 		docs:    map[string]map[string][]byte{},
 		indexes: index.NewRegistry(),
 	}
+	if opts.PlanCacheSize >= 0 {
+		size := opts.PlanCacheSize
+		if size == 0 {
+			size = DefaultPlanCacheSize
+		}
+		e.plans = newPlanCache(size)
+	}
+	if opts.ResultCacheBytes > 0 {
+		e.results = newResultCache(opts.ResultCacheBytes)
+	}
+	if !opts.DisableSidecars {
+		e.indexes.SetPersistence(&index.Persistence{
+			Dir:   opts.CacheDir,
+			Ident: func(file string) (runtime.FileIdent, bool) { return e.source().Ident(file) },
+		})
+	}
+	return e
 }
 
 // Mount registers a directory of JSON files as a collection, addressable
 // from queries as collection(name).
-func (e *Engine) Mount(name, dir string) { e.mounts[name] = dir }
+func (e *Engine) Mount(name, dir string) {
+	e.mounts[name] = dir
+	e.mountGen.Add(1)
+}
 
 // MountDocs registers an in-memory set of documents as a collection.
-func (e *Engine) MountDocs(name string, docs map[string][]byte) { e.docs[name] = docs }
+func (e *Engine) MountDocs(name string, docs map[string][]byte) {
+	e.docs[name] = docs
+	e.mountGen.Add(1)
+}
 
 // BuildIndex builds a zone-map (per-file min/max) index over a scalar path
 // of a collection, written in JSONiq postfix syntax, e.g.
@@ -174,7 +228,7 @@ func (e *Engine) BuildIndexes(collection string, paths ...string) error {
 		pp[i] = p
 	}
 	zms, err := index.BuildWith(e.source(), collection, pp,
-		index.BuildOptions{Workers: e.opts.IndexWorkers})
+		index.BuildOptions{Workers: e.opts.IndexWorkers, ZoneGrain: e.opts.IndexZoneGrain})
 	if err != nil {
 		return err
 	}
@@ -185,7 +239,7 @@ func (e *Engine) BuildIndexes(collection string, paths ...string) error {
 }
 
 // source builds the engine's data source view.
-func (e *Engine) source() runtime.Source {
+func (e *Engine) source() *compositeSource {
 	return &compositeSource{
 		dirs: &runtime.DirSource{Mounts: e.mounts},
 		mem:  &runtime.MemSource{Collections: e.docs},
@@ -235,6 +289,26 @@ func (s *compositeSource) Size(path string) (int64, error) {
 	return s.dirs.Size(path)
 }
 
+// Ident reports a file's durable identity. In-memory documents have none
+// (ok=false), so persistent caches never cover them; directory files get
+// their (size, mtime) from the filesystem.
+func (s *compositeSource) Ident(path string) (runtime.FileIdent, bool) {
+	if _, err := s.mem.Size(path); err == nil {
+		return s.mem.Ident(path)
+	}
+	return s.dirs.Ident(path)
+}
+
+// CacheInfo reports how the engine's caches served one query.
+type CacheInfo struct {
+	// PlanHit is true when compilation was skipped (plan cache).
+	PlanHit bool
+	// ResultHit is true when execution was skipped entirely (result cache);
+	// Stats and PeakMemory then describe the original run that produced the
+	// cached result.
+	ResultHit bool
+}
+
 // Result is a query's outcome.
 type Result struct {
 	// Items is the result sequence, one item per result tuple, in a
@@ -253,14 +327,33 @@ type Result struct {
 	// Profile is the per-operator execution profile (nil unless
 	// Options.Profile was set).
 	Profile *hyracks.Profile
+	// Cache reports which cache layers served this query.
+	Cache CacheInfo
 }
 
-// Query compiles and executes a JSONiq query.
+// Query compiles and executes a JSONiq query. With the caches enabled (see
+// Options.PlanCacheSize and Options.ResultCacheBytes), a repeated query skips
+// compilation, and — when its scanned files are verifiably unchanged —
+// execution altogether; Result.Cache reports which layers served it.
 func (e *Engine) Query(query string) (*Result, error) {
-	compiled, err := e.compile(query)
+	key := normalizeQuery(query) + "\x00" + e.optionFingerprint()
+	if e.results != nil && resultCacheable(key) {
+		if res, ok := e.results.lookup(key, e.resultStillValid); ok {
+			return res, nil
+		}
+	}
+	compiled, planHit, err := e.compileCached(query, key)
 	if err != nil {
 		return nil, err
 	}
+	// Snapshot the scanned files before executing: if one changes mid-run,
+	// the stored snapshot no longer matches the file's post-change identity,
+	// so the very next lookup invalidates the (possibly torn) entry.
+	var snapshot []collSnap
+	if e.results != nil && resultCacheable(key) {
+		snapshot = e.snapshotCollections(compiled.Job.ScanCollections())
+	}
+	gen := e.mountGen.Load()
 	env := &hyracks.Env{
 		Source:            e.source(),
 		FrameSize:         e.opts.FrameSize,
@@ -293,6 +386,7 @@ func (e *Engine) Query(query string) (*Result, error) {
 		OptimizedPlan: compiled.OptimizedPlan,
 		PhysicalPlan:  compiled.Job.String(),
 		Profile:       res.Profile,
+		Cache:         CacheInfo{PlanHit: planHit},
 	}
 	for _, row := range res.Rows {
 		if len(row) != 1 {
@@ -300,7 +394,120 @@ func (e *Engine) Query(query string) (*Result, error) {
 		}
 		out.Items = append(out.Items, row[0]...)
 	}
+	if snapshot != nil {
+		cached := *out
+		cached.Profile = nil // profiles are per-execution, not part of the answer
+		cached.Cache = CacheInfo{}
+		e.results.store(&resultEntry{key: key, res: &cached, gen: gen, colls: snapshot})
+	}
 	return out, nil
+}
+
+// optionFingerprint encodes the compile-relevant options into the cache key:
+// two engines (or one reconfigured engine) disagree on plans exactly when
+// their fingerprints differ.
+func (e *Engine) optionFingerprint() string {
+	rc := e.opts.ruleConfig()
+	return fmt.Sprintf("p%d:%t%t%t", e.opts.Partitions, rc.PathRules, rc.PipeliningRules, rc.GroupByRules)
+}
+
+// compileCached compiles through the plan cache. planHit reports whether
+// compilation was skipped.
+func (e *Engine) compileCached(query, key string) (c *core.Compiled, planHit bool, err error) {
+	if e.plans == nil {
+		c, err = e.compile(query)
+		return c, false, err
+	}
+	if c, ok := e.plans.get(key); ok {
+		return c, true, nil
+	}
+	c, err = e.compile(query)
+	if err != nil {
+		return nil, false, err
+	}
+	e.plans.put(key, c)
+	return c, false, nil
+}
+
+// snapshotCollections records the file set and identities of the scanned
+// collections. A nil return (any listing error) disables caching for this
+// query rather than caching something unverifiable.
+func (e *Engine) snapshotCollections(collections []string) []collSnap {
+	src := e.source()
+	out := make([]collSnap, 0, len(collections))
+	for _, coll := range collections {
+		files, err := src.Files(coll)
+		if err != nil {
+			return nil
+		}
+		cs := collSnap{name: coll, files: make([]fileSnap, len(files))}
+		for i, f := range files {
+			ident, ok := src.Ident(f)
+			cs.files[i] = fileSnap{path: f, ident: ident, durable: ok}
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// resultStillValid revalidates one cached entry: the mount set must be the
+// same generation, every scanned collection must list the same files, and
+// every file with a durable identity must still carry the identity the
+// snapshot saw.
+func (e *Engine) resultStillValid(entry *resultEntry) bool {
+	if entry.gen != e.mountGen.Load() {
+		return false
+	}
+	src := e.source()
+	for _, cs := range entry.colls {
+		files, err := src.Files(cs.name)
+		if err != nil || len(files) != len(cs.files) {
+			return false
+		}
+		for i, f := range files {
+			snap := cs.files[i]
+			if f != snap.path {
+				return false
+			}
+			ident, ok := src.Ident(f)
+			if ok != snap.durable || ident != snap.ident {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CacheStats is a snapshot of the engine's cache counters.
+type CacheStats struct {
+	// PlanHits / PlanMisses count compiled-plan cache outcomes.
+	PlanHits, PlanMisses int64
+	// ResultHits / ResultMisses count result cache outcomes.
+	ResultHits, ResultMisses int64
+	// ResultCacheBytes is the result cache's current accounted charge.
+	ResultCacheBytes int64
+	// SidecarLoads / SidecarMisses / SidecarWrites count persistent
+	// structural-index sidecar traffic.
+	SidecarLoads, SidecarMisses, SidecarWrites int64
+}
+
+// CacheStats reports the engine's cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	var cs CacheStats
+	if e.plans != nil {
+		e.plans.mu.Lock()
+		cs.PlanHits, cs.PlanMisses = e.plans.hits, e.plans.misses
+		e.plans.mu.Unlock()
+	}
+	if e.results != nil {
+		e.results.mu.Lock()
+		cs.ResultHits, cs.ResultMisses = e.results.hits, e.results.misses
+		e.results.mu.Unlock()
+		cs.ResultCacheBytes = e.results.bytesUsed()
+	}
+	rs := e.indexes.Stats()
+	cs.SidecarLoads, cs.SidecarMisses, cs.SidecarWrites = rs.SidecarLoads, rs.SidecarMisses, rs.SidecarWrites
+	return cs
 }
 
 // Explain compiles a query and returns its plans without executing it.
