@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-query bench-cache bench-smoke fuzz-smoke profile-smoke fmt vet
+.PHONY: all build test race bench bench-query bench-cache bench-spill bench-smoke fuzz-smoke profile-smoke spill-smoke fmt vet
 
 all: build test
 
@@ -46,6 +46,23 @@ bench-query:
 # TestCacheBenchSmoke runs the same gates in-process at a reduced scale.
 bench-cache:
 	$(GO) run ./cmd/benchscan -cache -out BENCH_cache.json
+
+# bench-spill measures the out-of-core operators — grace-hash group-by and
+# join, external merge sort — against their in-memory runs on an input ~4x
+# over the per-operator budget, writing BENCH_spill.json. The harness enforces
+# the acceptance gates (byte-identical results, real spilling, accountant
+# balance zero, high-water no worse than in-memory, empty spill directory);
+# TestSpillBenchSmoke runs the same gates in-process at a reduced scale.
+bench-spill:
+	$(GO) run ./cmd/benchscan -spill -out BENCH_spill.json
+
+# spill-smoke is the CI guard for the out-of-core layer: the bigger-than-
+# budget differential tests (group-by/join/sort spilled vs in-memory,
+# byte-identical, temp-file hygiene, accountant balance) plus the in-process
+# benchmark gates.
+spill-smoke:
+	$(GO) test -run 'TestSpill' -v ./internal/hyracks ./internal/bench
+	$(GO) test ./internal/spill
 
 # bench-smoke is the CI guard: every benchmark must still run (one
 # iteration), catching bit-rot in the harness without burning CI minutes.

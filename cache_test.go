@@ -385,3 +385,55 @@ func TestSidecarsWrittenByEngineIndexBuild(t *testing.T) {
 		t.Fatalf("sidecar-blind engine skipped %d files", res.Stats.FilesSkipped)
 	}
 }
+
+// TestResultCacheTruncatedMtimeConservativeMiss: a file whose mtime carries
+// no sub-second precision (a filesystem with second-granularity timestamps)
+// cannot witness a same-size rewrite made within the same second, so the
+// cache must treat its identity as unverifiable and miss rather than risk
+// serving a stale result.
+func TestResultCacheTruncatedMtimeConservativeMiss(t *testing.T) {
+	eng, dir := diskSensorEngine(t, Options{Partitions: 1, ResultCacheBytes: 1 << 20})
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob: %v %v", files, err)
+	}
+	// Truncate every file's mtime to a whole second, as a coarse filesystem
+	// would report it.
+	trunc := time.Now().Truncate(time.Second)
+	for _, f := range files {
+		if err := os.Chtimes(f, trunc, trunc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Query(apiQ1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(apiQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.ResultHit {
+		t.Fatal("result served from cache though the file identities cannot witness a same-second rewrite")
+	}
+	// Restoring sub-second mtimes makes identities reliable again: the entry
+	// re-caches and the next run hits.
+	for _, f := range files {
+		now := time.Now()
+		if now.Nanosecond()%1e9 == 0 {
+			now = now.Add(time.Microsecond)
+		}
+		if err := os.Chtimes(f, now, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Query(apiQ1); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Query(apiQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cache.ResultHit {
+		t.Fatal("result not cached once file identities became reliable")
+	}
+}

@@ -17,6 +17,7 @@
 //	benchscan -parse [-parsedur 1s] [-workers 1,2,4,8] [-out BENCH_parse.json]
 //	benchscan -query [-querytuples 200000] [-querydur 1s] [-out BENCH_query.json]
 //	benchscan -cache [-cacherepeats 32] [-cacheconc 4] [-out BENCH_cache.json]
+//	benchscan -spill [-spillfactor 4] [-out BENCH_spill.json]
 package main
 
 import (
@@ -67,7 +68,19 @@ func main() {
 	cache := flag.Bool("cache", false, "measure cold vs warm repeated queries (sidecars + plan/result caches) instead of the scan scheduler")
 	cacheRepeats := flag.Int("cacherepeats", 32, "timed warm executions per query (with -cache)")
 	cacheConc := flag.Int("cacheconc", 4, "goroutines sharing the warm engine (with -cache)")
+	spillFlag := flag.Bool("spill", false, "measure the out-of-core operators (grace-hash group-by/join, external merge sort) against their in-memory runs")
+	spillFactor := flag.Float64("spillfactor", 4, "dataset scale factor of the spill benchmark (with -spill)")
 	flag.Parse()
+
+	if *spillFlag {
+		if *out == "" {
+			*out = "BENCH_spill.json"
+		}
+		if err := runSpillBench(*out, *spillFactor); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *cache {
 		if *out == "" {
@@ -326,6 +339,32 @@ func runQueryBench(out string, tuples int, minDur time.Duration) error {
 			rep.Shapes[shape].Speedup, rep.Shapes[shape].ProfileOverhead)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("-> %s\n", out)
+	return nil
+}
+
+// runSpillBench runs the out-of-core acceptance benchmark (the harness
+// enforces its own gates: byte-identical results, real spilling, accountant
+// zero, bounded high-water, empty spill directory) and writes BENCH_spill.json.
+func runSpillBench(out string, factor float64) error {
+	results, err := bench.RunSpillBench(bench.Settings{Factor: factor})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%s: input %.1fx over %d KiB budget, spilled %d KiB in %d partitions / %d waves, peak %d -> %d KiB, slowdown %.2fx\n",
+			r.Query, r.OverBudget, r.BudgetBytes>>10, r.Spilled.SpilledBytes>>10,
+			r.Spilled.SpillPartitions, r.Spilled.SpillWaves,
+			r.InMemory.PeakMemory>>10, r.Spilled.PeakMemory>>10, r.Slowdown)
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -63,6 +63,8 @@ func run() error {
 	noSidecars := fs.Bool("no-sidecars", false, "disable persistent index sidecars (in-memory indexes only)")
 	repeat := fs.Int("repeat", 1, "run the query this many times (warm runs exercise the plan/result caches and sidecars)")
 	resultCacheKB := fs.Int64("result-cache-kb", 0, "result cache budget in KiB (0 = disabled); only useful with -repeat")
+	opMemKB := fs.Int64("op-mem-kb", 0, "per-operator memory budget in KiB before group-by/join/sort spill to disk (0 = never spill)")
+	spillDir := fs.String("spill-dir", "", "directory for operator spill files (default: the OS temp dir)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -92,6 +94,8 @@ func run() error {
 		CacheDir:               *cacheDir,
 		DisableSidecars:        *noSidecars,
 		ResultCacheBytes:       *resultCacheKB << 10,
+		OpMemoryBudget:         *opMemKB << 10,
+		SpillDir:               *spillDir,
 		Profile:                *profile || *trace != "",
 		// -profile renders per-operator self times that should sum to the
 		// job wall; only the staged executor gives that accounting (the
@@ -134,6 +138,10 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "items: %d  files: %d  bytes read: %d  tuples: %d  shuffled: %d  peak memory: %d\n",
 			len(res.Items), res.Stats.FilesRead, res.Stats.BytesRead,
 			res.Stats.TuplesProduced, res.Stats.BytesShuffled, res.PeakMemory)
+		if res.Stats.SpilledBytes > 0 {
+			fmt.Fprintf(os.Stderr, "spill: bytes: %d  partitions: %d  waves: %d\n",
+				res.Stats.SpilledBytes, res.Stats.SpillPartitions, res.Stats.SpillWaves)
+		}
 		cs := eng.CacheStats()
 		fmt.Fprintf(os.Stderr, "cache: plan hit=%v result hit=%v  files skipped: %d  morsels skipped: %d  cold index builds: %d  sidecars loaded/written: %d/%d\n",
 			res.Cache.PlanHit, res.Cache.ResultHit,

@@ -19,6 +19,7 @@ var profileSpanKeys = []string{
 	"frames_out", "tuples_out", "bytes_out",
 	"frames_forwarded", "frames_rebuilt",
 	"mem_peak", "hash_collisions", "arena_bytes",
+	"spilled_bytes", "spill_partitions", "spill_waves",
 	"morsels", "morsel_steals", "morsels_skipped",
 }
 

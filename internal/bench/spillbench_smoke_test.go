@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestSpillBenchSmoke runs the out-of-core benchmark at a reduced scale; the
+// harness itself enforces the acceptance gates (byte-identical results,
+// spilling actually happened, accountant zero, bounded high-water, empty
+// spill directory), so the test only checks the harness completes and covers
+// all three blocking shapes. This is the test behind `make bench-spill`'s CI
+// smoke leg.
+func TestSpillBenchSmoke(t *testing.T) {
+	results, err := RunSpillBench(Settings{Factor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.OverBudget < 4 {
+			t.Errorf("%s: input only %.1fx over budget, want >= 4x", r.Query, r.OverBudget)
+		}
+		if r.Spilled.SpilledBytes <= 0 {
+			t.Errorf("%s: no bytes spilled", r.Query)
+		}
+		if r.InMemory.Rows != r.Spilled.Rows {
+			t.Errorf("%s: row counts diverge: %d vs %d", r.Query, r.InMemory.Rows, r.Spilled.Rows)
+		}
+	}
+}

@@ -52,6 +52,18 @@ type Env struct {
 	// and merged once at job end. Off by default — an unprofiled run builds
 	// exactly the unwrapped chain and pays nothing.
 	Profile bool
+	// OpMemoryBudget bounds the bytes any one blocking operator instance
+	// (group-by, join build, sort) may hold before it goes out of core:
+	// group-by and join grace-hash-partition to disk, sort switches to
+	// external merge. 0 (the default) never spills. Eager reference mode
+	// never spills either — it stays the pure in-memory baseline.
+	OpMemoryBudget int64
+	// SpillDir is where spill files are created (the OS temp dir when empty).
+	// All spill files are removed when the operator finishes — success,
+	// error, or cancellation.
+	SpillDir string
+	// SpillPartitions is the grace-hash fan-out per spill wave (default 8).
+	SpillPartitions int
 }
 
 func (e *Env) accountant() *frame.Accountant {
@@ -146,7 +158,9 @@ func (r *Result) SortRows() {
 }
 
 func sortRows(rows [][]item.Sequence) {
-	sort.Slice(rows, func(i, j int) bool {
+	// Stable, like sortOp: rows that compare equal on every position keep
+	// their relative order, so repeated canonicalizations agree bytewise.
+	sort.SliceStable(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]
 		n := min(len(a), len(b))
 		for k := 0; k < n; k++ {
@@ -303,12 +317,16 @@ func (w *exchangeWriter) route(fields []item.Sequence) (int, error) {
 }
 
 func (w *exchangeWriter) Close() error {
+	// Flush every builder even after a failure (first error wins): the
+	// remaining frames must reach their destinations or be recycled there,
+	// not sit forgotten in the builders.
+	var err error
 	for _, b := range w.builders {
-		if err := b.flush(); err != nil {
-			return err
+		if ferr := b.flush(); err == nil {
+			err = ferr
 		}
 	}
-	return nil
+	return err
 }
 
 // profExtras implements opStatser: the exchange's forwarded-vs-rebuilt frame
@@ -325,6 +343,9 @@ func (w *exchangeWriter) profExtras(x *opExtras) {
 // (already the head of the operator chain).
 func runSource(ctx *TaskCtx, f *Fragment, w Writer, in sourceInput) error {
 	if err := w.Open(); err != nil {
+		// Operators downstream of the failure point may have opened and
+		// charged memory; Close releases it (builders are nil-safe).
+		_ = w.Close()
 		return err
 	}
 	if err := feedSource(ctx, f, w, in); err != nil {
@@ -359,10 +380,18 @@ func feedSource(ctx *TaskCtx, f *Fragment, w Writer, in sourceInput) error {
 		if err := in.recv(s.Build, j.build); err != nil {
 			return err
 		}
+		if err := j.finishBuild(); err != nil {
+			return err
+		}
 		b := newFrameBuilder(ctx, w)
 		if err := in.recv(s.Probe, func(fr *frame.Frame) error {
 			return j.probe(fr, b)
 		}); err != nil {
+			b.discard()
+			return err
+		}
+		if err := j.finishProbe(b); err != nil {
+			b.discard()
 			return err
 		}
 		if err := b.flush(); err != nil {
@@ -417,6 +446,7 @@ func runScan(ctx *TaskCtx, s ScanSource, partitions int, w Writer) error {
 			ctx.MorselsStolen++
 		}
 		if err := scanMorsel(ctx, sc, s, m); err != nil {
+			sc.b.discard()
 			return m.wrap(err)
 		}
 	}

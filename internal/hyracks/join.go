@@ -1,9 +1,12 @@
 package hyracks
 
 import (
+	"io"
+
 	"vxq/internal/frame"
 	"vxq/internal/item"
 	"vxq/internal/runtime"
+	"vxq/internal/spill"
 )
 
 // JoinSpec describes an equi hash join. The build side is fully consumed
@@ -38,6 +41,19 @@ type joiner struct {
 	etable    map[uint64]*ejoinBucket
 	arena     byteArena
 
+	// Out-of-core state (encoded mode only; see spillops.go). When the build
+	// table exceeds budget it flushes to wave-0 partitions and the rest of the
+	// build streams to disk; the probe side then partitions the same way and
+	// each partition pair joins recursively (classic grace hash).
+	budget      int64
+	bspill      *spillParts  // build-side partition writers (non-nil once spilled)
+	pspill      *spillParts  // probe-side partition writers
+	bruns       []*spill.Run // sealed build runs, indexed by partition
+	arenaBytes  int64        // cumulative arena reservations across table resets
+	spilled     int64
+	spillParted int64
+	spillWaves  int64
+
 	// Eager reference mode.
 	eager bool
 	table map[uint64]*joinBucket
@@ -67,6 +83,7 @@ func newJoiner(ctx *TaskCtx, spec *JoinSpec) *joiner {
 		j.etable = make(map[uint64]*ejoinBucket)
 		j.buildKeys = newKeyEncoder(spec.BuildKeys)
 		j.probeKeys = newKeyEncoder(spec.ProbeKeys)
+		j.budget = ctx.SpillBudget
 	}
 	return j
 }
@@ -87,7 +104,10 @@ func (j *joiner) hold(sz int64) {
 func (j *joiner) profExtras(x *opExtras) {
 	x.memPeak = j.memPeak
 	x.hashCollisions = j.collisions
-	x.arenaBytes = j.arena.reserved
+	x.arenaBytes = j.arenaBytes + j.arena.reserved
+	x.spilledBytes = j.spilled
+	x.spillPartitions = j.spillParted
+	x.spillWaves = j.spillWaves
 }
 
 // build inserts one build-side frame into the hash table. The frame arrives
@@ -103,33 +123,112 @@ func (j *joiner) build(fr *frame.Frame) error {
 		if err != nil {
 			return err
 		}
-		b, err := j.elookup(h, kf)
-		if err != nil {
+		if j.bspill != nil {
+			// Out of core: the table stays flushed, every further build tuple
+			// routes to its partition raw.
+			n, werr := j.bspill.write(h, spillTagRaw, lt.Raw())
+			j.spilled += int64(n)
+			return werr
+		}
+		if err := j.insertRow(h, kf, lt.Raw()); err != nil {
 			return err
 		}
-		if b == nil {
-			stored := make([][]byte, len(kf))
-			for i, f := range kf {
-				cp, grew := j.arena.copy(f)
-				stored[i] = cp
-				if grew > 0 {
-					j.hold(grew)
+		return j.maybeSpill()
+	})
+}
+
+// insertRow adds one build row (arena-interning its key on first sight) to
+// the table. kf and raw may alias transient buffers — everything retained is
+// copied.
+func (j *joiner) insertRow(h uint64, kf, raw [][]byte) error {
+	b, err := j.elookup(h, kf)
+	if err != nil {
+		return err
+	}
+	if b == nil {
+		stored := make([][]byte, len(kf))
+		for i, f := range kf {
+			cp, grew := j.arena.copy(f)
+			stored[i] = cp
+			if grew > 0 {
+				j.hold(grew)
+			}
+		}
+		b = &ejoinBucket{key: stored, next: j.etable[h]}
+		j.etable[h] = b
+	}
+	stored := make([][]byte, len(raw))
+	var sz int64 = 48
+	for i, f := range raw {
+		stored[i] = append([]byte(nil), f...)
+		sz += int64(len(f))
+	}
+	b.rows = append(b.rows, joinRow{raw: stored})
+	j.hold(sz)
+	return nil
+}
+
+// maybeSpill takes the build side out of core once the table exceeds budget.
+// A table holding a single key can never be split by partitioning, so it
+// stays in memory.
+func (j *joiner) maybeSpill() error {
+	if j.budget <= 0 || j.bspill != nil || j.memory <= j.budget || len(j.etable) < 2 {
+		return nil
+	}
+	j.bspill = newSpillParts(j.ctx, 0)
+	j.spillWaves++
+	return j.flushTable(j.bspill)
+}
+
+// flushTable writes every build row back out as a raw record routed by its
+// bucket's key hash, then drops the table. A bucket's rows are written
+// contiguously in arrival order, so rebuilding a partition preserves per-key
+// row order — the only order the join output depends on.
+func (j *joiner) flushTable(ps *spillParts) error {
+	for _, b := range j.etable {
+		for ; b != nil; b = b.next {
+			h, err := chainKeyHash(b.key)
+			if err != nil {
+				return err
+			}
+			for _, row := range b.rows {
+				n, werr := ps.write(h, spillTagRaw, row.raw)
+				j.spilled += int64(n)
+				if werr != nil {
+					return werr
 				}
 			}
-			b = &ejoinBucket{key: stored, next: j.etable[h]}
-			j.etable[h] = b
 		}
-		raw := lt.Raw()
-		stored := make([][]byte, len(raw))
-		var sz int64 = 48
-		for i, f := range raw {
-			stored[i] = append([]byte(nil), f...)
-			sz += int64(len(f))
-		}
-		b.rows = append(b.rows, joinRow{raw: stored})
-		j.hold(sz)
+	}
+	j.resetTable()
+	return nil
+}
+
+// resetTable drops the build table and returns its held bytes (arena growth
+// included — it was charged through hold) to the accountant.
+func (j *joiner) resetTable() {
+	j.arenaBytes += j.arena.release()
+	j.etable = make(map[uint64]*ejoinBucket)
+	j.ctx.releaseHold(j.memory)
+	j.memory = 0
+}
+
+// finishBuild runs once the build side is fully consumed. An in-memory build
+// is already the probe-ready table; a spilled build seals its partitions and
+// opens the probe-side writers that mirror their routing.
+func (j *joiner) finishBuild() error {
+	if j.bspill == nil {
 		return nil
-	})
+	}
+	runs, err := j.bspill.finish()
+	j.spillParted += countRuns(runs)
+	j.bspill = nil
+	if err != nil {
+		return err
+	}
+	j.bruns = runs
+	j.pspill = newSpillParts(j.ctx, 0)
+	return nil
 }
 
 func (j *joiner) buildEager(fr *frame.Frame) error {
@@ -214,27 +313,250 @@ func (j *joiner) probe(fr *frame.Frame, b *frameBuilder) error {
 		if err != nil {
 			return err
 		}
-		bucket, err := j.elookup(h, kf)
-		if err != nil || bucket == nil {
-			return err
-		}
-		// An empty join key (empty sequence) never matches anything, per
-		// comparison semantics: eq with an empty operand is empty/false.
-		for _, f := range kf {
-			if item.IsEmptySeqEncoded(f) {
+		if j.pspill != nil {
+			// Spilled build: route the probe tuple to the partition its key's
+			// build rows went to. Partitions with no build data can never
+			// produce output, so their probe tuples are dropped here.
+			p := spillRoute(h, 0, len(j.bruns))
+			if j.bruns[p] == nil {
 				return nil
 			}
+			n, werr := j.pspill.writeTo(p, spillTagRaw, lt.Raw())
+			j.spilled += int64(n)
+			return werr
 		}
-		raw := lt.Raw()
-		for _, row := range bucket.rows {
-			out = append(out[:0], row.raw...)
-			out = append(out, raw...)
-			if err := b.emit(out); err != nil {
+		return j.probeRow(h, kf, lt.Raw(), &out, b)
+	})
+}
+
+// probeRow joins one probe tuple against the in-memory table.
+func (j *joiner) probeRow(h uint64, kf, raw [][]byte, out *[][]byte, b *frameBuilder) error {
+	bucket, err := j.elookup(h, kf)
+	if err != nil || bucket == nil {
+		return err
+	}
+	// An empty join key (empty sequence) never matches anything, per
+	// comparison semantics: eq with an empty operand is empty/false.
+	for _, f := range kf {
+		if item.IsEmptySeqEncoded(f) {
+			return nil
+		}
+	}
+	for _, row := range bucket.rows {
+		*out = append((*out)[:0], row.raw...)
+		*out = append(*out, raw...)
+		if err := b.emit(*out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishProbe runs once the probe side is fully consumed: for an in-memory
+// join the output already streamed through probe and there is nothing to do;
+// a spilled join seals the probe partitions and joins each partition pair.
+// Runs are removed as they are consumed, the deferred sweeps remove the rest
+// when an error cuts the drain short.
+func (j *joiner) finishProbe(b *frameBuilder) error {
+	if j.pspill == nil {
+		return nil
+	}
+	pruns, err := j.pspill.finish()
+	j.spillParted += countRuns(pruns)
+	j.pspill = nil
+	if err != nil {
+		return err
+	}
+	bruns := j.bruns
+	j.bruns = nil
+	defer spill.RemoveRuns(bruns)
+	defer spill.RemoveRuns(pruns)
+	for p := range bruns {
+		br, pr := bruns[p], pruns[p]
+		if br != nil && pr != nil {
+			if err := j.joinPartition(br, pr, 1, b); err != nil {
 				return err
 			}
 		}
-		return nil
-	})
+		if br != nil {
+			br.Remove()
+			bruns[p] = nil
+		}
+		if pr != nil {
+			pr.Remove()
+			pruns[p] = nil
+		}
+	}
+	return nil
+}
+
+// joinPartition rebuilds the hash table from one build run and streams the
+// matching probe run through it. If the table overflows again and can still
+// be split, both runs re-partition on a depth-rotated hash and recursion
+// continues; at max depth (or with a single unsplittable key) the partition
+// finishes in memory — correctness never depends on the budget holding.
+func (j *joiner) joinPartition(brun, prun *spill.Run, depth int, b *frameBuilder) error {
+	rd, err := brun.Open()
+	if err != nil {
+		return err
+	}
+	release := j.ctx.account(int64(j.ctx.spillBlockSize()))
+	var child *spillParts
+	fail := func(err error) error {
+		rd.Close()
+		release()
+		if child != nil {
+			child.abort()
+		}
+		return err
+	}
+	var lt frame.LazyTuple
+	for {
+		_, fields, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		lt.Reset(fields)
+		kf, h, err := j.buildKeys.resolve(j.ctx, &lt)
+		if err != nil {
+			return fail(err)
+		}
+		if child != nil {
+			n, werr := child.write(h, spillTagRaw, fields)
+			j.spilled += int64(n)
+			if werr != nil {
+				return fail(werr)
+			}
+			continue
+		}
+		if err := j.insertRow(h, kf, fields); err != nil {
+			return fail(err)
+		}
+		if j.budget > 0 && j.memory > j.budget && depth < maxSpillDepth && len(j.etable) > 1 {
+			child = newSpillParts(j.ctx, depth)
+			j.spillWaves++
+			if err := j.flushTable(child); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	rd.Close()
+	release()
+	if child == nil {
+		err := j.probeRun(prun, b)
+		j.resetTable()
+		return err
+	}
+	bruns, err := child.finish()
+	j.spillParted += countRuns(bruns)
+	child = nil
+	if err != nil {
+		return err
+	}
+	defer spill.RemoveRuns(bruns)
+	pruns, err := j.partitionProbeRun(prun, depth, bruns)
+	j.spillParted += countRuns(pruns)
+	if err != nil {
+		return err
+	}
+	defer spill.RemoveRuns(pruns)
+	for p := range bruns {
+		br, pr := bruns[p], pruns[p]
+		if br != nil && pr != nil {
+			if err := j.joinPartition(br, pr, depth+1, b); err != nil {
+				return err
+			}
+		}
+		if br != nil {
+			br.Remove()
+			bruns[p] = nil
+		}
+		if pr != nil {
+			pr.Remove()
+			pruns[p] = nil
+		}
+	}
+	return nil
+}
+
+// probeRun streams one probe run through the in-memory table.
+func (j *joiner) probeRun(prun *spill.Run, b *frameBuilder) error {
+	rd, err := prun.Open()
+	if err != nil {
+		return err
+	}
+	release := j.ctx.account(int64(j.ctx.spillBlockSize()))
+	defer release()
+	defer rd.Close()
+	var (
+		lt  frame.LazyTuple
+		out [][]byte
+	)
+	for {
+		_, fields, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		lt.Reset(fields)
+		kf, h, err := j.probeKeys.resolve(j.ctx, &lt)
+		if err != nil {
+			return err
+		}
+		if err := j.probeRow(h, kf, fields, &out, b); err != nil {
+			return err
+		}
+	}
+}
+
+// partitionProbeRun re-routes one probe run on the depth-rotated hash,
+// mirroring the build side's re-partitioning and dropping tuples whose
+// partition holds no build data.
+func (j *joiner) partitionProbeRun(prun *spill.Run, depth int, bruns []*spill.Run) ([]*spill.Run, error) {
+	rd, err := prun.Open()
+	if err != nil {
+		return nil, err
+	}
+	release := j.ctx.account(int64(j.ctx.spillBlockSize()))
+	ps := newSpillParts(j.ctx, depth)
+	fail := func(err error) ([]*spill.Run, error) {
+		rd.Close()
+		release()
+		ps.abort()
+		return nil, err
+	}
+	var lt frame.LazyTuple
+	for {
+		_, fields, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		lt.Reset(fields)
+		_, h, err := j.probeKeys.resolve(j.ctx, &lt)
+		if err != nil {
+			return fail(err)
+		}
+		p := spillRoute(h, depth, len(bruns))
+		if bruns[p] == nil {
+			continue
+		}
+		n, werr := ps.writeTo(p, spillTagRaw, fields)
+		j.spilled += int64(n)
+		if werr != nil {
+			return fail(werr)
+		}
+	}
+	rd.Close()
+	release()
+	return ps.finish()
 }
 
 func (j *joiner) probeEager(fr *frame.Frame, b *frameBuilder) error {
@@ -267,11 +589,25 @@ func (j *joiner) probeEager(fr *frame.Frame, b *frameBuilder) error {
 }
 
 // release frees the accounted build-table memory (arena reservations were
-// charged into memory as they grew, so one release covers both).
+// charged into memory as they grew, so one release covers both) and cleans up
+// any spill state a failed task left behind. feedSource defers it, so the
+// balance returns to zero and no files linger on either the clean or the
+// error path.
 func (j *joiner) release() {
 	if j.ctx.RT != nil && j.ctx.RT.Accountant != nil {
 		j.ctx.RT.Accountant.Release(j.memory)
 	}
 	j.memory = 0
 	j.arena.release()
+	if j.bspill != nil {
+		j.bspill.abort()
+		j.bspill = nil
+	}
+	if j.pspill != nil {
+		j.pspill.abort()
+		j.pspill = nil
+	}
+	spill.RemoveRuns(j.bruns)
+	j.bruns = nil
+	j.ctx.addSpillStats(j.spilled, j.spillParted, j.spillWaves)
 }

@@ -1,6 +1,8 @@
 package hyracks
 
 import (
+	"container/heap"
+	"io"
 	"sort"
 
 	"fmt"
@@ -8,6 +10,7 @@ import (
 	"vxq/internal/frame"
 	"vxq/internal/item"
 	"vxq/internal/runtime"
+	"vxq/internal/spill"
 )
 
 // OpSpec describes one physical operator of a fragment chain. Build
@@ -86,10 +89,14 @@ func (o *assignOp) Push(fr *frame.Frame) error {
 }
 
 func (o *assignOp) Close() error {
-	if err := o.b.flush(); err != nil {
-		return err
+	// Close must cascade even when the flush fails: a downstream blocking
+	// operator releases its held memory in its own Close, so skipping it on
+	// the error path would leave the accountant imbalanced.
+	err := o.b.flush()
+	if cerr := o.out.Close(); err == nil {
+		err = cerr
 	}
-	return o.out.Close()
+	return err
 }
 
 // --- SELECT ---------------------------------------------------------------
@@ -143,10 +150,12 @@ func (o *selectOp) Push(fr *frame.Frame) error {
 }
 
 func (o *selectOp) Close() error {
-	if err := o.b.flush(); err != nil {
-		return err
+	// Cascade on error: see assignOp.Close.
+	err := o.b.flush()
+	if cerr := o.out.Close(); err == nil {
+		err = cerr
 	}
-	return o.out.Close()
+	return err
 }
 
 // --- UNNEST ---------------------------------------------------------------
@@ -211,10 +220,12 @@ func (o *unnestOp) Push(fr *frame.Frame) error {
 }
 
 func (o *unnestOp) Close() error {
-	if err := o.b.flush(); err != nil {
-		return err
+	// Cascade on error: see assignOp.Close.
+	err := o.b.flush()
+	if cerr := o.out.Close(); err == nil {
+		err = cerr
 	}
-	return o.out.Close()
+	return err
 }
 
 // applyOutColsInto projects raw fields to the given columns, reusing dst's
@@ -277,10 +288,12 @@ func (o *projectOp) Push(fr *frame.Frame) error {
 }
 
 func (o *projectOp) Close() error {
-	if err := o.b.flush(); err != nil {
-		return err
+	// Cascade on error: see assignOp.Close.
+	err := o.b.flush()
+	if cerr := o.out.Close(); err == nil {
+		err = cerr
 	}
-	return o.out.Close()
+	return err
 }
 
 // --- AGGREGATE ------------------------------------------------------------
@@ -398,21 +411,28 @@ func (o *aggregateOp) Push(fr *frame.Frame) error {
 
 func (o *aggregateOp) Close() error {
 	b := newFrameBuilder(o.ctx, o.out)
-	outFields := make([][]byte, len(o.states))
-	for i, st := range o.states {
-		v, err := st.Finish()
-		if err != nil {
+	err := func() error {
+		outFields := make([][]byte, len(o.states))
+		for i, st := range o.states {
+			v, err := st.Finish()
+			if err != nil {
+				return err
+			}
+			outFields[i] = item.EncodeSeq(nil, v)
+		}
+		if err := b.emit(outFields); err != nil {
 			return err
 		}
-		outFields[i] = item.EncodeSeq(nil, v)
+		return b.flush()
+	}()
+	if err != nil {
+		b.discard()
 	}
-	if err := b.emit(outFields); err != nil {
-		return err
+	// Cascade on error: see assignOp.Close.
+	if cerr := o.out.Close(); err == nil {
+		err = cerr
 	}
-	if err := b.flush(); err != nil {
-		return err
-	}
-	return o.out.Close()
+	return err
 }
 
 // --- GROUP-BY -------------------------------------------------------------
@@ -476,7 +496,17 @@ type groupByOp struct {
 	order      []*group // insertion order for deterministic output
 	keyScratch []item.Sequence
 
-	memory int64
+	memory   int64
+	tableMem int64 // the part of memory held by the table + arena (freed on spill)
+
+	// Out-of-core state (encoded mode only; see spillops.go). Once the held
+	// table exceeds budget, live groups flush to wave-0 partitions as partial
+	// records and the rest of the input streams to disk raw (grace hash).
+	budget      int64       // per-operator byte budget; 0 = never spill
+	spill       *spillParts // non-nil once the operator went out of core
+	spilled     int64
+	spillParted int64
+	spillWaves  int64
 
 	// Profile counters (see profExtras).
 	memPeak    int64
@@ -488,6 +518,7 @@ type groupByOp struct {
 // tracks the held-memory high-water the profiler reports.
 func (o *groupByOp) hold(sz int64) {
 	o.memory += sz
+	o.tableMem += sz
 	if o.memory > o.memPeak {
 		o.memPeak = o.memory
 	}
@@ -499,6 +530,9 @@ func (o *groupByOp) profExtras(x *opExtras) {
 	x.memPeak = o.memPeak
 	x.hashCollisions = o.collisions
 	x.arenaBytes = o.arenaBytes
+	x.spilledBytes = o.spilled
+	x.spillPartitions = o.spillParted
+	x.spillWaves = o.spillWaves
 }
 
 func (o *groupByOp) Open() error {
@@ -510,6 +544,15 @@ func (o *groupByOp) Open() error {
 		o.keys = newKeyEncoder(o.spec.Keys)
 		o.fastCols = countFastCols(o.spec.Aggs)
 		o.keyScratch = nil
+		o.budget = o.ctx.SpillBudget
+		// Spilling snapshots and re-merges every aggregate state; an
+		// aggregate that cannot pins the operator to the in-memory path.
+		for _, a := range o.spec.Aggs {
+			if _, ok := a.Fn.New().(runtime.SpillableState); !ok {
+				o.budget = 0
+				break
+			}
+		}
 	}
 	return o.out.Open()
 }
@@ -524,31 +567,100 @@ func (o *groupByOp) Push(fr *frame.Frame) error {
 		if err != nil {
 			return err
 		}
+		if o.spill != nil {
+			// Out of core: the table stays flushed, every further tuple
+			// routes to its partition raw (classic grace hash — one wave).
+			n, werr := o.spill.write(h, spillTagRaw, lt.Raw())
+			o.spilled += int64(n)
+			return werr
+		}
 		g, err := o.elookup(h, kf)
 		if err != nil {
 			return err
 		}
 		if g == nil {
-			// New group: intern the key bytes in the arena and charge the
-			// hold (the arena reports whole-chunk reservations as they
-			// happen, so interned keys are charged like the other holds).
-			stored := make([][]byte, len(kf))
-			var sz int64 = 64
-			for i, f := range kf {
-				cp, grew := o.arena.copy(f)
-				stored[i] = cp
-				sz += grew
-			}
-			g = &egroup{keyFields: stored, states: make([]runtime.AggState, len(o.spec.Aggs)), next: o.etable[h]}
-			for i, a := range o.spec.Aggs {
-				g.states[i] = a.Fn.New()
-			}
-			o.etable[h] = g
-			o.eorder = append(o.eorder, g)
-			o.hold(sz) // charged until close; released in Close
+			g = o.newGroup(h, kf)
 		}
-		return stepStates(o.ctx, o.spec.Aggs, o.fastCols, g.states, lt, o.hold)
+		if err := stepStates(o.ctx, o.spec.Aggs, o.fastCols, g.states, lt, o.hold); err != nil {
+			return err
+		}
+		return o.maybeSpill()
 	})
+}
+
+// newGroup interns the key bytes in the arena, charges the hold (the arena
+// reports whole-chunk reservations as they happen, so interned keys are
+// charged like the other holds), and chains the fresh group into the table.
+func (o *groupByOp) newGroup(h uint64, kf [][]byte) *egroup {
+	stored := make([][]byte, len(kf))
+	var sz int64 = 64
+	for i, f := range kf {
+		cp, grew := o.arena.copy(f)
+		stored[i] = cp
+		sz += grew
+	}
+	g := &egroup{keyFields: stored, states: make([]runtime.AggState, len(o.spec.Aggs)), next: o.etable[h]}
+	for i, a := range o.spec.Aggs {
+		g.states[i] = a.Fn.New()
+	}
+	o.etable[h] = g
+	o.eorder = append(o.eorder, g)
+	o.hold(sz) // charged until close (or until the table spills)
+	return g
+}
+
+// maybeSpill takes the operator out of core once the held table exceeds its
+// budget. A single group can never be split by partitioning (and its state
+// is at least output-sized anyway), so it stays in memory.
+func (o *groupByOp) maybeSpill() error {
+	if o.budget <= 0 || o.spill != nil || o.memory <= o.budget || len(o.eorder) < 2 {
+		return nil
+	}
+	o.spill = newSpillParts(o.ctx, 0)
+	o.spillWaves++
+	return o.flushGroups(o.spill)
+}
+
+// flushGroups writes every live group as a partial record — key fields, then
+// one item.EncodeSeq'd aggregate snapshot per aggregate — routed by the same
+// chained key hash raw tuples use, then drops the table. A key has exactly
+// one partial per wave and it lands in its partition file before any of the
+// key's raw records, so replaying the file merges aggregate state in original
+// arrival order (float sums stay bit-identical to the in-memory path).
+func (o *groupByOp) flushGroups(ps *spillParts) error {
+	var fields [][]byte
+	for _, g := range o.eorder {
+		fields = append(fields[:0], g.keyFields...)
+		for _, st := range g.states {
+			snap, err := st.(runtime.SpillableState).Snapshot()
+			if err != nil {
+				return err
+			}
+			fields = append(fields, item.EncodeSeq(nil, snap))
+		}
+		h, err := chainKeyHash(g.keyFields)
+		if err != nil {
+			return err
+		}
+		n, werr := ps.write(h, spillTagPartial, fields)
+		o.spilled += int64(n)
+		if werr != nil {
+			return werr
+		}
+	}
+	o.resetTable()
+	return nil
+}
+
+// resetTable drops every group and returns the table's held bytes (arena
+// growth included — it was charged through hold) to the accountant.
+func (o *groupByOp) resetTable() {
+	o.arenaBytes += o.arena.release()
+	o.etable = make(map[uint64]*egroup)
+	o.eorder = o.eorder[:0]
+	o.memory -= o.tableMem
+	o.ctx.releaseHold(o.tableMem)
+	o.tableMem = 0
 }
 
 func (o *groupByOp) elookup(h uint64, kf [][]byte) (*egroup, error) {
@@ -637,22 +749,215 @@ func (o *groupByOp) lookup(h uint64, keySeqs []item.Sequence) *group {
 }
 
 func (o *groupByOp) Close() error {
-	o.arenaBytes = o.arena.reserved // snapshot before the deferred release
+	o.arenaBytes += o.arena.reserved // live reservation; spilled waves added theirs at reset
 	defer func() {
 		if o.ctx.RT != nil && o.ctx.RT.Accountant != nil {
 			o.ctx.RT.Accountant.Release(o.memory)
 		}
 		o.memory = 0
+		o.tableMem = 0
 		o.arena.release()
+		if o.spill != nil {
+			// A drain cut short by an error leaves the wave-0 writers open;
+			// abort removes their files (no-op after a clean finish).
+			o.spill.abort()
+			o.spill = nil
+		}
+		o.ctx.addSpillStats(o.spilled, o.spillParted, o.spillWaves)
 	}()
 	b := newFrameBuilder(o.ctx, o.out)
-	if err := o.emitGroups(b); err != nil {
+	var err error
+	if o.spill != nil {
+		err = o.drainSpill(b)
+	} else {
+		err = o.emitGroups(b)
+	}
+	if err == nil {
+		err = b.flush()
+	} else {
+		b.discard()
+	}
+	// Cascade on error: see assignOp.Close.
+	if cerr := o.out.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// drainSpill seals the wave-0 partitions and reduces each in turn, emitting
+// its groups as it finishes. Runs are removed as they are consumed; the
+// deferred sweep removes the rest when a downstream error cuts the drain
+// short.
+func (o *groupByOp) drainSpill(b *frameBuilder) error {
+	runs, err := o.spill.finish()
+	o.spillParted += countRuns(runs)
+	o.spill = nil
+	if err != nil {
 		return err
 	}
-	if err := b.flush(); err != nil {
+	defer spill.RemoveRuns(runs)
+	for i, r := range runs {
+		if r == nil {
+			continue
+		}
+		if err := o.processRun(r, 1, b); err != nil {
+			return err
+		}
+		r.Remove()
+		runs[i] = nil
+	}
+	return nil
+}
+
+// processRun rebuilds a hash table from one partition file. If the table
+// overflows again and can still be split, the live groups flush to child
+// writers on a depth-rotated hash, the rest of the run streams straight
+// through, and recursion continues per child; otherwise (max depth reached,
+// or a single unsplittable group) the partition finishes in memory —
+// correctness never depends on the budget holding.
+func (o *groupByOp) processRun(run *spill.Run, depth int, b *frameBuilder) error {
+	rd, err := run.Open()
+	if err != nil {
 		return err
 	}
-	return o.out.Close()
+	release := o.ctx.account(int64(o.ctx.spillBlockSize()))
+	var child *spillParts
+	fail := func(err error) error {
+		rd.Close()
+		release()
+		if child != nil {
+			child.abort()
+		}
+		return err
+	}
+	var lt frame.LazyTuple
+	for {
+		tag, fields, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if child != nil {
+			// Already re-partitioning: route the rest of the run straight
+			// through on the rotated hash.
+			h, err := o.spillRecordHash(tag, fields, &lt)
+			if err != nil {
+				return fail(err)
+			}
+			n, werr := child.write(h, tag, fields)
+			o.spilled += int64(n)
+			if werr != nil {
+				return fail(werr)
+			}
+			continue
+		}
+		if err := o.absorb(tag, fields, &lt); err != nil {
+			return fail(err)
+		}
+		if o.budget > 0 && o.memory > o.budget && depth < maxSpillDepth && len(o.eorder) > 1 {
+			child = newSpillParts(o.ctx, depth)
+			o.spillWaves++
+			if err := o.flushGroups(child); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	rd.Close()
+	release()
+	if child == nil {
+		if err := o.emitGroups(b); err != nil {
+			return err
+		}
+		o.resetTable()
+		return nil
+	}
+	crs, err := child.finish()
+	o.spillParted += countRuns(crs)
+	child = nil
+	if err != nil {
+		return err
+	}
+	defer spill.RemoveRuns(crs)
+	for i, r := range crs {
+		if r == nil {
+			continue
+		}
+		if err := o.processRun(r, depth+1, b); err != nil {
+			return err
+		}
+		r.Remove()
+		crs[i] = nil
+	}
+	return nil
+}
+
+// spillRecordHash recovers a spilled record's routing hash: raw tuples
+// re-resolve the key expressions exactly like Push, partial records hash
+// their leading key fields (identical bytes, therefore identical hash).
+func (o *groupByOp) spillRecordHash(tag byte, fields [][]byte, lt *frame.LazyTuple) (uint64, error) {
+	if tag == spillTagPartial {
+		if len(fields) < len(o.spec.Keys) {
+			return 0, fmt.Errorf("hyracks: malformed spilled partial: %d fields, want >= %d", len(fields), len(o.spec.Keys))
+		}
+		return chainKeyHash(fields[:len(o.spec.Keys)])
+	}
+	lt.Reset(fields)
+	_, h, err := o.keys.resolve(o.ctx, lt)
+	return h, err
+}
+
+// absorb folds one spilled record into the live table: raw records step like
+// Push; partials merge their aggregate snapshots into the key's states.
+// The fields alias the reader's block buffer — everything retained (keys,
+// stepped state) is copied by the arena or decoded, never aliased.
+func (o *groupByOp) absorb(tag byte, fields [][]byte, lt *frame.LazyTuple) error {
+	if tag == spillTagRaw {
+		lt.Reset(fields)
+		kf, h, err := o.keys.resolve(o.ctx, lt)
+		if err != nil {
+			return err
+		}
+		g, err := o.elookup(h, kf)
+		if err != nil {
+			return err
+		}
+		if g == nil {
+			g = o.newGroup(h, kf)
+		}
+		return stepStates(o.ctx, o.spec.Aggs, o.fastCols, g.states, lt, o.hold)
+	}
+	nk := len(o.spec.Keys)
+	if len(fields) != nk+len(o.spec.Aggs) {
+		return fmt.Errorf("hyracks: malformed spilled partial: %d fields, want %d", len(fields), nk+len(o.spec.Aggs))
+	}
+	kf := fields[:nk]
+	h, err := chainKeyHash(kf)
+	if err != nil {
+		return err
+	}
+	g, err := o.elookup(h, kf)
+	if err != nil {
+		return err
+	}
+	if g == nil {
+		g = o.newGroup(h, kf)
+	}
+	for i, st := range g.states {
+		snap, err := item.DecodeSeq(fields[nk+i])
+		if err != nil {
+			return err
+		}
+		before := st.Size()
+		if err := st.(runtime.SpillableState).Merge(snap); err != nil {
+			return err
+		}
+		if grew := st.Size() - before; grew > 0 {
+			o.hold(grew)
+		}
+	}
+	return nil
 }
 
 // emitGroups writes one tuple per group — key fields then finished
@@ -746,6 +1051,9 @@ func (o *subplanOp) Push(fr *frame.Frame) error {
 		inner := o.ctx.newFrame()
 		inner.AppendTuple(raw)
 		if err := w.Push(inner); err != nil {
+			// Best-effort close of the nested chain so its operators release
+			// whatever they hold; report the push error.
+			_ = w.Close()
 			return err
 		}
 		if err := w.Close(); err != nil {
@@ -761,10 +1069,12 @@ func (o *subplanOp) Push(fr *frame.Frame) error {
 }
 
 func (o *subplanOp) Close() error {
-	if err := o.b.flush(); err != nil {
-		return err
+	// Cascade on error: see assignOp.Close.
+	err := o.b.flush()
+	if cerr := o.out.Close(); err == nil {
+		err = cerr
 	}
-	return o.out.Close()
+	return err
 }
 
 // BuildChain composes a chain of operator specs into a single Writer whose
@@ -814,9 +1124,22 @@ type sortOp struct {
 	rows    []sortRow
 	memory  int64
 	memPeak int64
+
+	// Out-of-core state (see spillops.go): when the held rows exceed budget
+	// they are sorted and written out as one run; Close k-way merges the runs.
+	budget     int64
+	runs       []*spill.Run
+	runCount   int64
+	spilled    int64
+	spillWaves int64
 }
 
-func (o *sortOp) Open() error { return o.out.Open() }
+func (o *sortOp) Open() error {
+	if !o.ctx.EagerDecode {
+		o.budget = o.ctx.SpillBudget
+	}
+	return o.out.Open()
+}
 
 // hold charges sz bytes of retained rows (released once at Close), tracking
 // the high-water for the profiler.
@@ -829,11 +1152,80 @@ func (o *sortOp) hold(sz int64) {
 }
 
 // profExtras implements opStatser.
-func (o *sortOp) profExtras(x *opExtras) { x.memPeak = o.memPeak }
+func (o *sortOp) profExtras(x *opExtras) {
+	x.memPeak = o.memPeak
+	x.spilledBytes = o.spilled
+	x.spillPartitions = o.runCount
+	x.spillWaves = o.spillWaves
+}
+
+// compareKeys orders two rows' evaluated key sequences under the sort spec.
+func (o *sortOp) compareKeys(a, b []item.Sequence) int {
+	for k := range o.spec.Keys {
+		c := item.CompareSeq(a[k], b[k])
+		if o.spec.Keys[k].Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// sortRows stably orders the buffered rows (ties keep arrival order — the
+// order-by contract, and what makes run merging equivalent to one big sort).
+func (o *sortOp) sortRows() {
+	sort.SliceStable(o.rows, func(i, j int) bool {
+		return o.compareKeys(o.rows[i].keys, o.rows[j].keys) < 0
+	})
+}
+
+// spillSortedRun sorts the buffered rows and writes them out as one run —
+// each record is the item.EncodeSeq'd key sequences followed by the raw tuple
+// fields, so the merge re-decodes keys without re-evaluating expressions —
+// then drops the buffer and returns its held bytes to the accountant.
+func (o *sortOp) spillSortedRun() error {
+	o.sortRows()
+	w, err := spill.NewWriter(o.ctx.SpillDir, o.ctx.spillBlockSize())
+	if err != nil {
+		return err
+	}
+	release := o.ctx.account(int64(o.ctx.spillBlockSize()))
+	var fields [][]byte
+	for _, r := range o.rows {
+		fields = fields[:0]
+		for _, k := range r.keys {
+			fields = append(fields, item.EncodeSeq(nil, k))
+		}
+		fields = append(fields, r.raw...)
+		n, werr := w.Write(spillTagRaw, fields)
+		o.spilled += int64(n)
+		if werr != nil {
+			w.Abort()
+			release()
+			return werr
+		}
+	}
+	run, err := w.Finish()
+	release()
+	if err != nil {
+		return err
+	}
+	if run != nil {
+		o.runs = append(o.runs, run)
+		o.runCount++
+		o.spillWaves++
+	}
+	o.rows = o.rows[:0]
+	o.ctx.releaseHold(o.memory)
+	o.memory = 0
+	return nil
+}
 
 func (o *sortOp) Push(fr *frame.Frame) error {
 	defer o.ctx.recycle(fr)
-	return forEachTupleView(fr, o.ctx.EagerDecode, func(lt *frame.LazyTuple) error {
+	err := forEachTupleView(fr, o.ctx.EagerDecode, func(lt *frame.LazyTuple) error {
 		keys := make([]item.Sequence, len(o.spec.Keys))
 		for i, k := range o.spec.Keys {
 			v, err := k.Key.Eval(o.ctx.RT, lt)
@@ -858,6 +1250,13 @@ func (o *sortOp) Push(fr *frame.Frame) error {
 		o.hold(sz)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	if o.budget > 0 && o.memory > o.budget {
+		return o.spillSortedRun()
+	}
+	return nil
 }
 
 func (o *sortOp) Close() error {
@@ -866,28 +1265,151 @@ func (o *sortOp) Close() error {
 			o.ctx.RT.Accountant.Release(o.memory)
 		}
 		o.memory = 0
+		// A merge cut short by an error leaves unconsumed run files behind;
+		// the sweep removes them (consumed runs were already removed).
+		spill.RemoveRuns(o.runs)
+		o.runs = nil
+		o.ctx.addSpillStats(o.spilled, o.runCount, o.spillWaves)
 	}()
-	sort.SliceStable(o.rows, func(i, j int) bool {
-		for k := range o.spec.Keys {
-			c := item.CompareSeq(o.rows[i].keys[k], o.rows[j].keys[k])
-			if o.spec.Keys[k].Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
+	b := newFrameBuilder(o.ctx, o.out)
+	var err error
+	if len(o.runs) == 0 {
+		o.sortRows()
+		for _, r := range o.rows {
+			if err = b.emit(r.raw); err != nil {
+				break
 			}
 		}
-		return false
-	})
-	b := newFrameBuilder(o.ctx, o.out)
-	for _, r := range o.rows {
-		if err := b.emit(r.raw); err != nil {
+		o.rows = nil
+	} else {
+		err = o.mergeRuns(b)
+	}
+	if err == nil {
+		err = b.flush()
+	} else {
+		b.discard()
+	}
+	// Cascade on error: see assignOp.Close.
+	if cerr := o.out.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sortCursor is one run's read head during the k-way merge: the decoded key
+// sequences and the raw tuple fields of the current record. raw aliases the
+// reader's block buffer — valid until the next advance, and the frame builder
+// copies on emit before that happens.
+type sortCursor struct {
+	rd   *spill.Reader
+	idx  int // run index: ties break toward earlier runs = arrival order
+	keys []item.Sequence
+	raw  [][]byte
+}
+
+// sortMerge is the merge heap over the open cursors (container/heap).
+type sortMerge struct {
+	op  *sortOp
+	cur []*sortCursor
+}
+
+func (m *sortMerge) Len() int { return len(m.cur) }
+func (m *sortMerge) Less(i, j int) bool {
+	a, b := m.cur[i], m.cur[j]
+	if c := m.op.compareKeys(a.keys, b.keys); c != 0 {
+		return c < 0
+	}
+	return a.idx < b.idx
+}
+func (m *sortMerge) Swap(i, j int) { m.cur[i], m.cur[j] = m.cur[j], m.cur[i] }
+func (m *sortMerge) Push(x any)    { m.cur = append(m.cur, x.(*sortCursor)) }
+func (m *sortMerge) Pop() any {
+	c := m.cur[len(m.cur)-1]
+	m.cur = m.cur[:len(m.cur)-1]
+	return c
+}
+
+// advance loads the cursor's next record, reporting false at end of run.
+func (o *sortOp) advance(c *sortCursor) (bool, error) {
+	_, fields, err := c.rd.Next()
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	nk := len(o.spec.Keys)
+	if len(fields) < nk {
+		return false, fmt.Errorf("hyracks: malformed spilled sort row: %d fields, want >= %d", len(fields), nk)
+	}
+	for i := 0; i < nk; i++ {
+		s, err := item.DecodeSeq(fields[i])
+		if err != nil {
+			return false, err
+		}
+		c.keys[i] = s
+	}
+	c.raw = fields[nk:]
+	return true, nil
+}
+
+// mergeRuns spills any still-buffered rows as a final run, then streams the
+// k-way merge of all runs downstream. Run-index tie-breaking makes the merge
+// byte-identical to stably sorting the whole input in memory: within a run
+// arrival order is preserved by the stable sort, and earlier runs hold
+// earlier arrivals.
+func (o *sortOp) mergeRuns(b *frameBuilder) error {
+	if len(o.rows) > 0 {
+		if err := o.spillSortedRun(); err != nil {
 			return err
 		}
 	}
-	o.rows = nil
-	if err := b.flush(); err != nil {
-		return err
+	m := &sortMerge{op: o}
+	defer func() {
+		for _, c := range m.cur {
+			c.rd.Close()
+		}
+	}()
+	release := o.ctx.account(int64(o.ctx.spillBlockSize()) * int64(len(o.runs)))
+	defer release()
+	nk := len(o.spec.Keys)
+	for i, r := range o.runs {
+		rd, err := r.Open()
+		if err != nil {
+			return err
+		}
+		c := &sortCursor{rd: rd, idx: i, keys: make([]item.Sequence, nk)}
+		m.cur = append(m.cur, c)
+		ok, err := o.advance(c)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			c.rd.Close()
+			m.cur = m.cur[:len(m.cur)-1]
+		}
 	}
-	return o.out.Close()
+	heap.Init(m)
+	for m.Len() > 0 {
+		c := m.cur[0]
+		if err := b.emit(c.raw); err != nil {
+			return err
+		}
+		ok, err := o.advance(c)
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Fix(m, 0)
+		} else {
+			c.rd.Close()
+			heap.Pop(m)
+		}
+	}
+	for i, r := range o.runs {
+		r.Remove()
+		o.runs[i] = nil
+	}
+	o.runs = o.runs[:0]
+	return nil
 }

@@ -110,7 +110,8 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 					ChunkSize:  env.ChunkSize,
 					Indexes:    env.Indexes,
 				}
-				ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, EagerDecode: env.EagerReference, Pool: pool, morsels: queues[f.ID]}
+				ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, EagerDecode: env.EagerReference, Pool: pool, morsels: queues[f.ID],
+					SpillDir: env.SpillDir, SpillBudget: env.OpMemoryBudget, SpillFanout: env.SpillPartitions}
 				if jp != nil {
 					ctx.prof = newTaskProf(job, f, p, jp.epoch)
 				}
@@ -120,7 +121,7 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 					ec := chans[e.ID]
 					dests := make([]frameDest, e.ConsumerPartitions)
 					for i := range dests {
-						dests[i] = &chanDest{c: ec.chans[i], stop: stop}
+						dests[i] = &chanDest{c: ec.chans[i], stop: stop, pool: pool}
 					}
 					terminal = &producerCloser{
 						Writer: newExchangeWriter(ctx, e, dests),
@@ -172,6 +173,15 @@ func RunPipelined(job *Job, env *Env) (*Result, error) {
 	}
 	wg.Wait()
 	if firstErr != nil {
+		// Frames abandoned in exchange channels by torn-down tasks go back to
+		// the pool so its outstanding-frame accounting balances to zero.
+		for _, ec := range chans {
+			for _, c := range ec.chans {
+				for fr := range c {
+					pool.Put(fr)
+				}
+			}
+		}
 		return nil, firstErr
 	}
 	res.Stats.FilesSkipped = qstats.filesSkipped
@@ -196,6 +206,7 @@ var errStopped = fmt.Errorf("hyracks: execution aborted")
 type chanDest struct {
 	c    chan *frame.Frame
 	stop chan struct{}
+	pool *frame.Pool
 }
 
 func (d *chanDest) send(fr *frame.Frame) error {
@@ -203,6 +214,11 @@ func (d *chanDest) send(fr *frame.Frame) error {
 	case d.c <- fr:
 		return nil
 	case <-d.stop:
+		// The frame's ownership arrived with this call; with no receiver left
+		// it goes back to the pool instead of leaking.
+		if d.pool != nil {
+			d.pool.Put(fr)
+		}
 		return errStopped
 	}
 }

@@ -73,6 +73,13 @@ type OpMetrics struct {
 	HashCollisions int64 `json:"hash_collisions"`
 	ArenaBytes     int64 `json:"arena_bytes"`
 
+	// Out-of-core operators (group-by, join, sort): bytes written to spill
+	// files, partition files (or sort runs) produced, and grace-hash waves
+	// (or sort-run flushes) taken.
+	SpilledBytes    int64 `json:"spilled_bytes"`
+	SpillPartitions int64 `json:"spill_partitions"`
+	SpillWaves      int64 `json:"spill_waves"`
+
 	// Scan sources: morsels processed, how many of those were steals
 	// (taken off the static round-robin deal by a faster partition), and how
 	// many the queue build pruned via per-zone zone-map stats before they
@@ -97,6 +104,9 @@ func (m *OpMetrics) add(o *OpMetrics) {
 	m.MemPeak += o.MemPeak
 	m.HashCollisions += o.HashCollisions
 	m.ArenaBytes += o.ArenaBytes
+	m.SpilledBytes += o.SpilledBytes
+	m.SpillPartitions += o.SpillPartitions
+	m.SpillWaves += o.SpillWaves
 	m.Morsels += o.Morsels
 	m.MorselSteals += o.MorselSteals
 	m.MorselsSkipped += o.MorselsSkipped
@@ -169,6 +179,10 @@ type opExtras struct {
 	memPeak        int64
 	hashCollisions int64
 	arenaBytes     int64
+
+	spilledBytes    int64
+	spillPartitions int64
+	spillWaves      int64
 
 	framesForwarded int64
 	framesRebuilt   int64
@@ -441,6 +455,9 @@ func (jp *jobProf) buildProfile(job *Job, wallNS int64) *Profile {
 			sp.MemPeak = st.x.memPeak
 			sp.HashCollisions = st.x.hashCollisions
 			sp.ArenaBytes = st.x.arenaBytes
+			sp.SpilledBytes = st.x.spilledBytes
+			sp.SpillPartitions = st.x.spillPartitions
+			sp.SpillWaves = st.x.spillWaves
 			sp.Morsels = st.x.morsels
 			sp.MorselSteals = st.x.morselSteals
 			sp.MorselsSkipped = st.x.morselsSkipped
@@ -580,6 +597,9 @@ func writeNode(b *strings.Builder, n *ProfileNode, depth int) {
 	}
 	if m.HashCollisions > 0 {
 		fmt.Fprintf(b, "  collisions %d", m.HashCollisions)
+	}
+	if m.SpilledBytes > 0 {
+		fmt.Fprintf(b, "  spilled %s (%d parts, %d waves)", fmtBytes(m.SpilledBytes), m.SpillPartitions, m.SpillWaves)
 	}
 	if m.Morsels > 0 || m.MorselsSkipped > 0 {
 		fmt.Fprintf(b, "  morsels %d (%d stolen, %d skipped)", m.Morsels, m.MorselSteals, m.MorselsSkipped)

@@ -50,7 +50,8 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 				ChunkSize:  env.ChunkSize,
 				Indexes:    env.Indexes,
 			}
-			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, EagerDecode: env.EagerReference, Pool: pool, morsels: queues[f.ID]}
+			ctx := &TaskCtx{RT: rt, Partition: p, FrameSize: env.FrameSize, EagerDecode: env.EagerReference, Pool: pool, morsels: queues[f.ID],
+				SpillDir: env.SpillDir, SpillBudget: env.OpMemoryBudget, SpillFanout: env.SpillPartitions}
 			if jp != nil {
 				ctx.prof = newTaskProf(job, f, p, jp.epoch)
 			}
@@ -67,11 +68,18 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 			}
 			chain := buildTaskChain(ctx, f, terminal)
 			in := sourceInput{recv: func(exchID int, each func(*frame.Frame) error) error {
-				for _, fr := range buffers[exchID][p] {
+				// Frames are dropped from the buffer as they are delivered —
+				// the callback takes ownership (and recycles them), so the
+				// error-path sweep below must not see them again.
+				q := buffers[exchID][p]
+				for i, fr := range q {
+					q[i] = nil
 					if err := each(fr); err != nil {
+						buffers[exchID][p] = q[i+1:]
 						return err
 					}
 				}
+				buffers[exchID][p] = nil
 				return nil
 			}}
 			start := time.Now()
@@ -87,6 +95,17 @@ func RunStaged(job *Job, env *Env) (*Result, error) {
 				jp.add(ctx.prof)
 			}
 			if err != nil {
+				// Frames still buffered for later tasks were never consumed;
+				// return them so the pool's accounting balances to zero.
+				for _, parts := range buffers {
+					for _, frames := range parts {
+						for _, fr := range frames {
+							if fr != nil {
+								pool.Put(fr)
+							}
+						}
+					}
+				}
 				return nil, err
 			}
 		}

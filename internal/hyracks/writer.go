@@ -45,6 +45,14 @@ type TaskCtx struct {
 	// Pool recycles output frames across operators and tasks (may be nil,
 	// in which case frames are plainly allocated and never returned).
 	Pool *frame.Pool
+	// SpillDir, SpillBudget and SpillFanout configure the out-of-core layer
+	// (copied from Env.SpillDir / Env.OpMemoryBudget / Env.SpillPartitions).
+	// With SpillBudget 0 the blocking operators never spill. Eager reference
+	// mode never spills either — it stays the pure in-memory baseline the
+	// differential tests compare against.
+	SpillDir    string
+	SpillBudget int64
+	SpillFanout int
 	// morsels is the scan work queue shared by the fragment's tasks (nil for
 	// non-scan fragments and for fragments run outside an executor).
 	morsels *morselQueue
@@ -144,7 +152,9 @@ func tupleBytes(fields [][]byte) int {
 }
 
 func (b *frameBuilder) flush() error {
-	if b.fr == nil {
+	// nil receiver: an operator closed before its Open ran (a chain torn down
+	// after a mid-Open failure) has no builder yet and nothing to flush.
+	if b == nil || b.fr == nil {
 		return nil
 	}
 	if b.fr.TupleCount() == 0 {
@@ -155,6 +165,17 @@ func (b *frameBuilder) flush() error {
 	fr := b.fr
 	b.fr = nil // ownership moves to the receiver, which recycles it
 	return b.out.Push(fr)
+}
+
+// discard recycles the builder's pending frame without pushing it. Error
+// paths that abandon a builder mid-emit must call it — the pending frame was
+// charged at Get and nothing downstream will ever recycle it.
+func (b *frameBuilder) discard() {
+	if b == nil || b.fr == nil {
+		return
+	}
+	b.ctx.recycle(b.fr)
+	b.fr = nil
 }
 
 // forEachTuple decodes every tuple of a frame and calls f with its decoded

@@ -279,19 +279,26 @@ func WriteSidecar(path string, s *Sidecar) error {
 	if err != nil {
 		return err
 	}
+	// Deferred cleanup instead of per-branch removes: every exit that did not
+	// commit the rename — present and future — removes the temp file.
+	committed := false
+	defer func() {
+		if !committed {
+			os.Remove(tmp.Name())
+		}
+	}()
 	_, werr := tmp.Write(s.Encode())
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
 		return werr
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
 		return err
 	}
+	committed = true
 	return nil
 }
 

@@ -478,3 +478,41 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteSidecarCleansUpOnFailure: a mid-way WriteSidecar failure (here a
+// rename blocked by a directory squatting on the target path) must not leave
+// the temp file behind — the atomic-write hygiene the spill and cache layers
+// rely on.
+func TestWriteSidecarCleansUpOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "data.ndjson.vxqidx")
+	// A directory at the target path makes os.Rename fail.
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSidecar(target, testSidecar()); err == nil {
+		t.Fatal("WriteSidecar over a directory: want error, got nil")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == filepath.Base(target) {
+			continue // the blocking directory itself
+		}
+		t.Fatalf("stray file after failed WriteSidecar: %s", e.Name())
+	}
+	// And the success path leaves exactly the sidecar, no temp files.
+	target2 := filepath.Join(dir, "ok.ndjson.vxqidx")
+	if err := WriteSidecar(target2, testSidecar()); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp files left after successful WriteSidecar: %v", matches)
+	}
+}

@@ -25,6 +25,24 @@ type AggState interface {
 	Size() int64
 }
 
+// SpillableState is the optional AggState extension the out-of-core group-by
+// needs. When its memory budget is hit, the operator snapshots every live
+// group's states as "partial" tuples on disk and later merges them back into
+// fresh states. Snapshot encodes the running state as an item sequence (using
+// only what item.EncodeSeq can carry); Merge folds such a sequence into the
+// state. For any input split into a prefix P and suffix S, stepping P,
+// snapshotting, merging the snapshot into a fresh state and stepping S must
+// give the same result as stepping P then S into one state — including
+// float accumulation order, so sums stay bit-identical to the in-memory path.
+// Counts survive the float64 round-trip exactly below 2^53.
+//
+// A group-by whose aggregates do not all implement SpillableState stays on
+// the in-memory path regardless of budget.
+type SpillableState interface {
+	Snapshot() (item.Sequence, error)
+	Merge(v item.Sequence) error
+}
+
 // CountStepper is an optional AggState fast path for states that only need
 // the number of items in each input, not the items themselves. Operators
 // that hold tuples in encoded form read the sequence count straight from the
@@ -85,6 +103,12 @@ func (s *seqState) Step(v item.Sequence) error {
 func (s *seqState) Finish() (item.Sequence, error) { return s.seq, nil }
 func (s *seqState) Size() int64                    { return 24 + s.size }
 
+// Snapshot implements SpillableState: the state is the sequence itself.
+func (s *seqState) Snapshot() (item.Sequence, error) { return s.seq, nil }
+
+// Merge implements SpillableState: appending a snapshot is exactly Step.
+func (s *seqState) Merge(v item.Sequence) error { return s.Step(v) }
+
 // AggCount counts input items incrementally (after the group-by rules
 // convert the scalar count). It doubles as the local half of two-step
 // counting.
@@ -111,6 +135,24 @@ func (s *countState) Finish() (item.Sequence, error) {
 }
 func (s *countState) Size() int64 { return 8 }
 
+// Snapshot implements SpillableState.
+func (s *countState) Snapshot() (item.Sequence, error) {
+	return item.Single(item.Number(s.n)), nil
+}
+
+// Merge implements SpillableState: a snapshot carries the running count, not
+// items to count, so it is added rather than stepped.
+func (s *countState) Merge(v item.Sequence) error {
+	for _, it := range v {
+		n, ok := it.(item.Number)
+		if !ok {
+			return fmt.Errorf("agg-count: bad snapshot %s", item.JSON(it))
+		}
+		s.n += int64(n)
+	}
+	return nil
+}
+
 // AggSum sums numeric inputs incrementally. It is also the global half of
 // two-step counting (global count = sum of local counts).
 var AggSum = registerAgg(&AggFunc{
@@ -134,6 +176,14 @@ func (s *sumState) Finish() (item.Sequence, error) {
 	return item.Single(item.Number(s.sum)), nil
 }
 func (s *sumState) Size() int64 { return 8 }
+
+// Snapshot implements SpillableState.
+func (s *sumState) Snapshot() (item.Sequence, error) {
+	return item.Single(item.Number(s.sum)), nil
+}
+
+// Merge implements SpillableState: adding a snapshot's running sum is Step.
+func (s *sumState) Merge(v item.Sequence) error { return s.Step(v) }
 
 // AggAvg averages numeric inputs incrementally (single-step).
 var AggAvg = registerAgg(&AggFunc{
@@ -164,6 +214,30 @@ func (s *avgState) Finish() (item.Sequence, error) {
 	return item.Single(item.Number(s.sum / float64(s.n))), nil
 }
 func (s *avgState) Size() int64 { return 16 }
+
+// Snapshot implements SpillableState (shared by agg-avg-local via embedding:
+// both keep the same (sum, count) state).
+func (s *avgState) Snapshot() (item.Sequence, error) {
+	return item.Single(item.Array{item.Number(s.sum), item.Number(s.n)}), nil
+}
+
+// Merge implements SpillableState.
+func (s *avgState) Merge(v item.Sequence) error {
+	for _, it := range v {
+		pair, ok := it.(item.Array)
+		if !ok || len(pair) != 2 {
+			return fmt.Errorf("agg-avg: bad snapshot %s", item.JSON(it))
+		}
+		sum, ok1 := pair[0].(item.Number)
+		n, ok2 := pair[1].(item.Number)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("agg-avg: non-numeric snapshot %s", item.JSON(it))
+		}
+		s.sum += float64(sum)
+		s.n += int64(n)
+	}
+	return nil
+}
 
 // AggAvgLocal is the local half of two-step averaging: it emits a
 // [sum, count] array that AggAvgGlobal combines.
@@ -213,6 +287,14 @@ func (s *avgGlobalState) Finish() (item.Sequence, error) {
 }
 func (s *avgGlobalState) Size() int64 { return 16 }
 
+// Snapshot implements SpillableState.
+func (s *avgGlobalState) Snapshot() (item.Sequence, error) {
+	return item.Single(item.Array{item.Number(s.sum), item.Number(s.n)}), nil
+}
+
+// Merge implements SpillableState: Step already folds [sum, count] pairs.
+func (s *avgGlobalState) Merge(v item.Sequence) error { return s.Step(v) }
+
 func extremumAgg(name string, keepLeft func(c int) bool) *AggFunc {
 	return registerAgg(&AggFunc{
 		Name: name,
@@ -254,6 +336,18 @@ func (s *extremumState) Size() int64 {
 	}
 	return 16 + item.SizeBytes(s.best)
 }
+
+// Snapshot implements SpillableState: the running extremum, or an empty
+// sequence before any input.
+func (s *extremumState) Snapshot() (item.Sequence, error) {
+	if s.best == nil {
+		return nil, nil
+	}
+	return item.Single(s.best), nil
+}
+
+// Merge implements SpillableState: the extremum of extrema is Step.
+func (s *extremumState) Merge(v item.Sequence) error { return s.Step(v) }
 
 // AggMin and AggMax are incremental extrema. They are their own local and
 // global halves for two-step aggregation (min of mins is the min).

@@ -248,6 +248,9 @@ type Stats struct {
 	TuplesProduced  int64
 	TuplesShuffled  int64
 	BytesShuffled   int64
+	SpilledBytes    int64 // encoded tuple bytes written to spill files
+	SpillPartitions int64 // spill partition/run files created
+	SpillWaves      int64 // table flushes (group-by, join) and sorted runs (sort)
 }
 
 // Add merges other into s.
@@ -260,6 +263,9 @@ func (s *Stats) Add(other *Stats) {
 	s.TuplesProduced += other.TuplesProduced
 	s.TuplesShuffled += other.TuplesShuffled
 	s.BytesShuffled += other.BytesShuffled
+	s.SpilledBytes += other.SpilledBytes
+	s.SpillPartitions += other.SpillPartitions
+	s.SpillWaves += other.SpillWaves
 }
 
 // FileRange is the indexed value range of one file, as reported by a

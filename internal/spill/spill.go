@@ -1,0 +1,264 @@
+// Package spill moves encoded tuple bytes between operators and temporary
+// files, so blocking operators (hash group-by, hash join, sort) can go out of
+// core when they hit their memory budget. Tuples are written and read back
+// without ever decoding a field: a record is a tag byte plus length-prefixed
+// raw field encodings, and records are packed into CRC-checked blocks.
+//
+// File hygiene matches the sidecar writer: a Writer writes to an
+// os.CreateTemp file whose name matches *.tmp*, and Finish seals it by
+// renaming to a .run name. A crash therefore leaves at most a *.tmp* file for
+// the next cleanup sweep; Abort and Run.Remove delete eagerly on every error
+// path, so a cleanly failing job leaves nothing at all.
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+)
+
+// DefaultBlockSize is the write/read buffer of one spill stream. Operators
+// shrink it when their budget is small relative to the partition fan-out.
+const DefaultBlockSize = 256 * 1024
+
+// MinBlockSize floors the configurable block size.
+const MinBlockSize = 4 * 1024
+
+// blockHeaderSize is the per-block on-disk overhead: a uint32 payload length
+// followed by a uint32 CRC32 (IEEE) of the payload.
+const blockHeaderSize = 8
+
+// maxBlockLen bounds a decoded block header so a corrupt length cannot ask
+// for an absurd allocation.
+const maxBlockLen = 1 << 30
+
+// Writer accumulates tagged tuple records into blocks and writes them to a
+// temp file in dir. Finish seals the file into a Run; Abort removes it.
+type Writer struct {
+	f      *os.File
+	path   string
+	block  []byte
+	limit  int
+	tuples int64
+	bytes  int64 // total bytes this writer produced, including buffered
+	done   bool
+}
+
+// NewWriter creates a spill temp file in dir ("" = the OS temp directory).
+func NewWriter(dir string, blockSize int) (*Writer, error) {
+	if blockSize < MinBlockSize {
+		blockSize = MinBlockSize
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("spill: %w", err)
+		}
+	}
+	f, err := os.CreateTemp(dir, "vxq-spill-*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &Writer{f: f, path: f.Name(), limit: blockSize}, nil
+}
+
+// Write appends one record — a tag byte and the tuple's raw encoded fields —
+// and reports the encoded record size in bytes.
+func (w *Writer) Write(tag byte, fields [][]byte) (int, error) {
+	if w.done {
+		return 0, fmt.Errorf("spill: write after Finish/Abort")
+	}
+	before := len(w.block)
+	w.block = append(w.block, tag)
+	w.block = binary.AppendUvarint(w.block, uint64(len(fields)))
+	for _, f := range fields {
+		w.block = binary.AppendUvarint(w.block, uint64(len(f)))
+	}
+	for _, f := range fields {
+		w.block = append(w.block, f...)
+	}
+	n := len(w.block) - before
+	w.tuples++
+	w.bytes += int64(n)
+	if len(w.block) >= w.limit {
+		if err := w.flushBlock(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Tuples reports how many records have been written.
+func (w *Writer) Tuples() int64 { return w.tuples }
+
+func (w *Writer) flushBlock() error {
+	if len(w.block) == 0 {
+		return nil
+	}
+	var hdr [blockHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(w.block)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(w.block))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	if _, err := w.f.Write(w.block); err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	w.bytes += blockHeaderSize
+	w.block = w.block[:0]
+	return nil
+}
+
+// Finish flushes, closes, and seals the temp file under a .run name,
+// returning the sealed Run. An empty writer (no records) removes its file and
+// returns (nil, nil). On error the temp file is removed.
+func (w *Writer) Finish() (*Run, error) {
+	if w.done {
+		return nil, fmt.Errorf("spill: Finish after Finish/Abort")
+	}
+	w.done = true
+	err := w.flushBlock()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil || w.tuples == 0 {
+		os.Remove(w.path)
+		return nil, err
+	}
+	final := strings.TrimSuffix(w.path, ".tmp") + ".run"
+	if err := os.Rename(w.path, final); err != nil {
+		os.Remove(w.path)
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &Run{Path: final, Tuples: w.tuples, Bytes: w.bytes}, nil
+}
+
+// Abort closes and removes the temp file. Safe to call more than once and
+// after Finish (then a no-op: the sealed Run owns the file).
+func (w *Writer) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.f.Close()
+	os.Remove(w.path)
+}
+
+// Run is one sealed spill file.
+type Run struct {
+	Path   string
+	Tuples int64
+	Bytes  int64
+}
+
+// Remove deletes the run's file.
+func (r *Run) Remove() {
+	if r != nil {
+		os.Remove(r.Path)
+	}
+}
+
+// RemoveRuns removes every non-nil run of a partition set.
+func RemoveRuns(runs []*Run) {
+	for _, r := range runs {
+		r.Remove()
+	}
+}
+
+// Open returns a sequential Reader over the run's records.
+func (r *Run) Open() (*Reader, error) {
+	f, err := os.Open(r.Path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &Reader{f: f, path: r.Path}, nil
+}
+
+// Reader iterates a run block by block, verifying each block's CRC before
+// any of its records are surfaced.
+type Reader struct {
+	f      *os.File
+	path   string
+	buf    []byte
+	off    int
+	fields [][]byte
+}
+
+// Next returns the next record. The returned field slices alias the reader's
+// block buffer and are valid only until the next call; callers that retain
+// bytes must copy them. io.EOF signals a clean end of the run.
+func (r *Reader) Next() (byte, [][]byte, error) {
+	if r.off == len(r.buf) {
+		if err := r.readBlock(); err != nil {
+			return 0, nil, err
+		}
+	}
+	buf := r.buf
+	if r.off >= len(buf) {
+		return 0, nil, r.corrupt("empty block")
+	}
+	tag := buf[r.off]
+	r.off++
+	nf, n := binary.Uvarint(buf[r.off:])
+	if n <= 0 || nf > uint64(len(buf)) {
+		return 0, nil, r.corrupt("bad field count")
+	}
+	r.off += n
+	if cap(r.fields) < int(nf) {
+		r.fields = make([][]byte, nf)
+	}
+	fields := r.fields[:nf]
+	lens := make([]int, nf)
+	for i := range lens {
+		l, n := binary.Uvarint(buf[r.off:])
+		if n <= 0 || l > uint64(len(buf)-r.off) {
+			return 0, nil, r.corrupt("bad field length")
+		}
+		r.off += n
+		lens[i] = int(l)
+	}
+	for i, l := range lens {
+		if l > len(buf)-r.off {
+			return 0, nil, r.corrupt("truncated field")
+		}
+		fields[i] = buf[r.off : r.off+l : r.off+l]
+		r.off += l
+	}
+	return tag, fields, nil
+}
+
+func (r *Reader) readBlock() error {
+	var hdr [blockHeaderSize]byte
+	if _, err := io.ReadFull(r.f, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return r.corrupt("truncated block header")
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxBlockLen {
+		return r.corrupt("bad block length")
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	r.buf = r.buf[:length]
+	if _, err := io.ReadFull(r.f, r.buf); err != nil {
+		return r.corrupt("truncated block")
+	}
+	if crc32.ChecksumIEEE(r.buf) != sum {
+		return r.corrupt("block CRC mismatch")
+	}
+	r.off = 0
+	return nil
+}
+
+func (r *Reader) corrupt(msg string) error {
+	return fmt.Errorf("spill: %s: corrupt run %s", msg, r.path)
+}
+
+// Close releases the reader's file handle.
+func (r *Reader) Close() error { return r.f.Close() }

@@ -1,0 +1,280 @@
+package spill
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readAll drains a run into ([tags], [records]) and closes the reader.
+func readAll(t *testing.T, run *Run) ([]byte, [][][]byte) {
+	t.Helper()
+	rd, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var tags []byte
+	var recs [][][]byte
+	for {
+		tag, fields, err := rd.Next()
+		if err == io.EOF {
+			return tags, recs
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		// Fields alias the block buffer; copy before the next call.
+		cp := make([][]byte, len(fields))
+		for i, f := range fields {
+			cp[i] = append([]byte(nil), f...)
+		}
+		tags = append(tags, tag)
+		recs = append(recs, cp)
+	}
+}
+
+// dirEntries lists the names currently in dir.
+func dirEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestWriteReadRoundTrip exercises the record format: mixed tags, varying
+// arity including zero fields and empty fields, and payloads larger than the
+// block size (so records span multiple blocks).
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, MinBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xAB}, 3*MinBlockSize) // larger than a block
+	want := []struct {
+		tag    byte
+		fields [][]byte
+	}{
+		{0, [][]byte{[]byte("hello"), []byte("world")}},
+		{1, [][]byte{{}}},  // one empty field
+		{1, nil},           // zero fields
+		{0, [][]byte{big}}, // oversized single field
+		{7, [][]byte{[]byte("a"), {}, big, []byte("z")}},
+	}
+	for _, rec := range want {
+		n, err := w.Write(rec.tag, rec.fields)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Fatalf("Write reported %d bytes", n)
+		}
+	}
+	if w.Tuples() != int64(len(want)) {
+		t.Fatalf("Tuples = %d, want %d", w.Tuples(), len(want))
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run == nil {
+		t.Fatal("Finish returned nil run for non-empty writer")
+	}
+	if filepath.Ext(run.Path) != ".run" {
+		t.Errorf("sealed run path %q does not end in .run", run.Path)
+	}
+	if run.Tuples != int64(len(want)) || run.Bytes <= 0 {
+		t.Errorf("run stats: tuples %d bytes %d", run.Tuples, run.Bytes)
+	}
+	tags, recs := readAll(t, run)
+	if len(recs) != len(want) {
+		t.Fatalf("read %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range want {
+		if tags[i] != rec.tag {
+			t.Errorf("record %d tag = %d, want %d", i, tags[i], rec.tag)
+		}
+		if len(recs[i]) != len(rec.fields) {
+			t.Fatalf("record %d arity = %d, want %d", i, len(recs[i]), len(rec.fields))
+		}
+		for j := range rec.fields {
+			if !bytes.Equal(recs[i][j], rec.fields[j]) {
+				t.Errorf("record %d field %d differs", i, j)
+			}
+		}
+	}
+	run.Remove()
+	if names := dirEntries(t, dir); len(names) != 0 {
+		t.Errorf("files left after Remove: %v", names)
+	}
+}
+
+// TestEmptyWriterFinish: a writer that never wrote returns (nil, nil) from
+// Finish and leaves no file behind.
+func TestEmptyWriterFinish(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run != nil {
+		t.Fatalf("empty Finish returned run %+v", run)
+	}
+	if names := dirEntries(t, dir); len(names) != 0 {
+		t.Errorf("files left after empty Finish: %v", names)
+	}
+}
+
+// TestAbortRemovesFile: Abort deletes the temp file, is idempotent, and is a
+// no-op after Finish (the sealed run owns the file then).
+func TestAbortRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(0, [][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort() // idempotent
+	if names := dirEntries(t, dir); len(names) != 0 {
+		t.Errorf("files left after Abort: %v", names)
+	}
+	if _, err := w.Write(0, nil); err == nil {
+		t.Error("Write after Abort succeeded")
+	}
+	if _, err := w.Finish(); err == nil {
+		t.Error("Finish after Abort succeeded")
+	}
+
+	// Abort after Finish must not delete the sealed run.
+	w2, err := NewWriter(dir, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write(0, [][]byte{[]byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	run, err := w2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Abort()
+	if _, err := os.Stat(run.Path); err != nil {
+		t.Errorf("Abort after Finish removed the sealed run: %v", err)
+	}
+	run.Remove()
+}
+
+// TestCorruptionDetected flips one payload byte and expects the reader to
+// refuse the block with a CRC error rather than surface bad records.
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, MinBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write(0, [][]byte{[]byte(fmt.Sprintf("record-%03d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Remove()
+	b, err := os.ReadFile(run.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[blockHeaderSize+10] ^= 0x01 // inside the first block's payload
+	if err := os.WriteFile(run.Path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	_, _, err = rd.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("corrupt block read returned %v, want CRC error", err)
+	}
+}
+
+// TestTruncationDetected cuts the file mid-block; the reader must error, not
+// EOF cleanly.
+func TestTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, MinBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("abcdefgh"), 64)
+	for i := 0; i < 64; i++ {
+		if _, err := w.Write(1, [][]byte{payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Remove()
+	// Cut inside a block (an offset 3 bytes past the midpoint cannot land on
+	// a block boundary twice in a row; the +3 keeps it off the exact edge).
+	if err := os.Truncate(run.Path, run.Bytes/2+3); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	for {
+		_, _, err := rd.Next()
+		if err == io.EOF {
+			t.Fatal("truncated run read to clean EOF")
+		}
+		if err != nil {
+			return // detected, as required
+		}
+	}
+}
+
+// TestRemoveRunsSkipsNil: partition sets carry nil entries for empty
+// partitions; RemoveRuns must tolerate them.
+func TestRemoveRunsSkipsNil(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(0, [][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RemoveRuns([]*Run{nil, run, nil})
+	if names := dirEntries(t, dir); len(names) != 0 {
+		t.Errorf("files left after RemoveRuns: %v", names)
+	}
+}

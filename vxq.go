@@ -130,6 +130,16 @@ type Options struct {
 	// each file's (size, mtime) identity and the engine's mount generation —
 	// returns its cached result without executing. 0 disables the cache.
 	ResultCacheBytes int64
+	// OpMemoryBudget bounds the bytes any one blocking operator instance
+	// (group-by, join build, sort) may hold before it goes out of core:
+	// group-by and join grace-hash-partition their state to disk and recurse,
+	// sort switches to external merge. Results are identical to in-memory
+	// execution. 0 (the default) never spills.
+	OpMemoryBudget int64
+	// SpillDir is where out-of-core operators place their temporary partition
+	// and run files ("" = the OS temp dir). Spill files are always removed
+	// when the query finishes — success or failure.
+	SpillDir string
 }
 
 func (o Options) ruleConfig() core.RuleConfig {
@@ -364,6 +374,8 @@ func (e *Engine) Query(query string) (*Result, error) {
 		ColdIndexMinBytes: e.opts.ColdIndexMinBytes,
 		ColdIndexWorkers:  e.opts.IndexWorkers,
 		Profile:           e.opts.Profile,
+		OpMemoryBudget:    e.opts.OpMemoryBudget,
+		SpillDir:          e.opts.SpillDir,
 	}
 	var res *hyracks.Result
 	if e.opts.Staged {
@@ -473,9 +485,23 @@ func (e *Engine) resultStillValid(entry *resultEntry) bool {
 			if ok != snap.durable || ident != snap.ident {
 				return false
 			}
+			if ok && !identReliable(ident) {
+				// A coarse mtime cannot distinguish a same-size rewrite made
+				// within its granularity from no change at all; miss
+				// conservatively rather than serve a possibly stale result.
+				return false
+			}
 		}
 	}
 	return true
+}
+
+// identReliable reports whether a file identity can actually witness change:
+// an mtime of zero, or one truncated to whole seconds (a filesystem without
+// sub-second timestamps), leaves same-size rewrites within one second
+// invisible to the (size, mtime) comparison.
+func identReliable(id runtime.FileIdent) bool {
+	return id.ModTimeNanos != 0 && id.ModTimeNanos%1e9 != 0
 }
 
 // CacheStats is a snapshot of the engine's cache counters.
